@@ -1,0 +1,73 @@
+#ifndef STAPL_BENCH_COMMON_HPP
+#define STAPL_BENCH_COMMON_HPP
+
+// Common harness for the figure-reproduction benchmarks.
+//
+// Each bench binary regenerates one table/figure of the dissertation's
+// evaluation (Ch. VIII-XIII): same rows/series as the paper, measured on
+// thread-backed locations (see EXPERIMENTS.md for the substitution notes).
+// The measurement kernel is the Fig. 24 kernel: concurrently perform N/P
+// method invocations per location, fence, report the maximum time across
+// locations.
+//
+// STAPL_BENCH_SCALE (env var, default 1) scales workload sizes.
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "runtime/timer.hpp"
+
+namespace bench {
+
+[[nodiscard]] inline std::size_t scale()
+{
+  if (char const* s = std::getenv("STAPL_BENCH_SCALE"))
+    return std::max(1L, std::atol(s));
+  return 1;
+}
+
+/// Runs the Fig. 24 kernel body on every location and returns the maximum
+/// elapsed seconds over locations.  Call from inside stapl::execute.
+template <typename Body>
+[[nodiscard]] double timed_kernel(Body&& body)
+{
+  stapl::rmi_fence();
+  auto tm = stapl::start_timer();
+  body();
+  stapl::rmi_fence();
+  double const elapsed = stapl::stop_timer(tm);
+  return stapl::allreduce(elapsed,
+                          [](double a, double b) { return a < b ? b : a; });
+}
+
+/// Prints one table header: name + column captions.
+inline void table_header(std::string const& title,
+                         std::vector<std::string> const& columns)
+{
+  std::printf("\n== %s ==\n", title.c_str());
+  for (auto const& c : columns)
+    std::printf("%16s", c.c_str());
+  std::printf("\n");
+}
+
+inline void cell(double v) { std::printf("%16.6f", v); }
+inline void cell(std::size_t v) { std::printf("%16zu", v); }
+inline void cell(long v) { std::printf("%16ld", v); }
+inline void cell(std::string const& v) { std::printf("%16s", v.c_str()); }
+inline void endrow() { std::printf("\n"); }
+
+/// Throughput in million operations per second.
+[[nodiscard]] inline double mops(std::size_t ops, double seconds)
+{
+  return seconds > 0 ? static_cast<double>(ops) / seconds / 1e6 : 0.0;
+}
+
+inline std::vector<unsigned> const default_locations{1, 2, 4, 8};
+
+} // namespace bench
+
+#endif

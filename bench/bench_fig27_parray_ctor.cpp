@@ -1,0 +1,40 @@
+// Fig. 27: pArray constructor execution time for various input sizes and
+// location counts (paper: CRAY4 / P5-cluster; here: thread-backed
+// locations).  Expected shape: time grows linearly with the per-location
+// share and is essentially flat in P for fixed per-location size.
+
+#include "bench_common.hpp"
+#include "containers/p_array.hpp"
+
+#include <atomic>
+
+int main()
+{
+  using namespace stapl;
+  std::printf("# Fig. 27 — pArray constructor time (seconds)\n");
+  bench::table_header("p_array(n) constructor",
+                      {"locations", "n=100k", "n=400k", "n=1.6M"});
+
+  for (unsigned p : bench::default_locations) {
+    std::atomic<double> t100{0}, t400{0}, t1600{0};
+    std::pair<std::size_t, std::atomic<double>*> const cases[] = {
+        {100'000, &t100}, {400'000, &t400}, {1'600'000, &t1600}};
+    execute(p, [&] {
+      for (auto const& [n, slot] : cases) {
+        std::size_t const total = n * bench::scale();
+        double const t = bench::timed_kernel([&] {
+          p_array<double> pa(total);
+          (void)pa;
+        });
+        if (this_location() == 0)
+          slot->store(t);
+      }
+    });
+    bench::cell(static_cast<std::size_t>(p));
+    bench::cell(t100.load());
+    bench::cell(t400.load());
+    bench::cell(t1600.load());
+    bench::endrow();
+  }
+  return 0;
+}

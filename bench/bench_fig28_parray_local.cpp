@@ -1,0 +1,70 @@
+// Fig. 28: pArray *local* method invocations for various container sizes.
+// Each location performs N/P invocations on elements it owns (the Fig. 24
+// kernel).  Expected shape: per-op cost is flat in container size and in P
+// (closed-form address resolution, no communication).
+
+#include "bench_common.hpp"
+#include "containers/p_array.hpp"
+
+#include <atomic>
+
+int main()
+{
+  using namespace stapl;
+  std::printf("# Fig. 28 — pArray local methods, Mops/s per location\n");
+  bench::table_header(
+      "local methods",
+      {"size", "set_element", "get_element", "operator[]", "apply_set"});
+
+  unsigned const p = 4;
+  for (std::size_t n : {40'000u, 160'000u, 640'000u}) {
+    std::size_t const total = n * bench::scale();
+    std::atomic<double> tset{0}, tget{0}, tidx{0}, tapply{0};
+    execute(p, [&] {
+      p_array<long> pa(total);
+      auto const locals = pa.local_gids();
+      std::size_t const ops = locals.size();
+
+      double t = bench::timed_kernel([&] {
+        for (auto g : locals)
+          pa.set_element(g, static_cast<long>(g));
+      });
+      if (this_location() == 0)
+        tset.store(bench::mops(ops, t));
+
+      t = bench::timed_kernel([&] {
+        long sink = 0;
+        for (auto g : locals)
+          sink += pa.get_element(g);
+        if (sink == -1)
+          std::abort();
+      });
+      if (this_location() == 0)
+        tget.store(bench::mops(ops, t));
+
+      t = bench::timed_kernel([&] {
+        long sink = 0;
+        for (auto g : locals)
+          sink += pa[g];
+        if (sink == -1)
+          std::abort();
+      });
+      if (this_location() == 0)
+        tidx.store(bench::mops(ops, t));
+
+      t = bench::timed_kernel([&] {
+        for (auto g : locals)
+          pa.apply_set(g, [](long& x) { ++x; });
+      });
+      if (this_location() == 0)
+        tapply.store(bench::mops(ops, t));
+    });
+    bench::cell(total);
+    bench::cell(tset.load());
+    bench::cell(tget.load());
+    bench::cell(tidx.load());
+    bench::cell(tapply.load());
+    bench::endrow();
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Fig. 29: pArray methods for various input sizes — each location performs
+// N/P invocations spread over the whole index space (mix of local and
+// remote).  Expected shape: time scales linearly with N/P; async writes are
+// cheaper per op than sync reads.
+
+#include "bench_common.hpp"
+#include "containers/p_array.hpp"
+
+#include <atomic>
+
+int main()
+{
+  using namespace stapl;
+  std::printf("# Fig. 29 — pArray methods over the whole index space\n");
+  bench::table_header("methods vs input size (seconds)",
+                      {"N", "set_async", "get_sync", "split_phase"});
+
+  unsigned const p = 4;
+  for (std::size_t n : {4'000u, 16'000u, 64'000u}) {
+    std::size_t const total = n * bench::scale();
+    std::atomic<double> ts{0}, tg{0}, tsp{0};
+    execute(p, [&] {
+      p_array<long> pa(total);
+      // Strided accesses covering the full array: ~1/P local.
+      std::size_t const per_loc = total / num_locations();
+      gid1d const start = this_location();
+
+      double t = bench::timed_kernel([&] {
+        for (std::size_t i = 0; i < per_loc; ++i)
+          pa.set_element((start + i * num_locations()) % total,
+                         static_cast<long>(i));
+      });
+      if (this_location() == 0)
+        ts.store(t);
+
+      t = bench::timed_kernel([&] {
+        long sink = 0;
+        for (std::size_t i = 0; i < per_loc; ++i)
+          sink += pa.get_element((start + i * num_locations()) % total);
+        if (sink == std::numeric_limits<long>::min())
+          std::abort();
+      });
+      if (this_location() == 0)
+        tg.store(t);
+
+      t = bench::timed_kernel([&] {
+        // Split-phase: overlap batches of 64 in-flight futures.
+        std::vector<pc_future<long>> futs;
+        futs.reserve(64);
+        long sink = 0;
+        for (std::size_t i = 0; i < per_loc; ++i) {
+          futs.push_back(pa.split_phase_get_element(
+              (start + i * num_locations()) % total));
+          if (futs.size() == 64) {
+            for (auto& f : futs)
+              sink += f.get();
+            futs.clear();
+          }
+        }
+        for (auto& f : futs)
+          sink += f.get();
+        if (sink == std::numeric_limits<long>::min())
+          std::abort();
+      });
+      if (this_location() == 0)
+        tsp.store(t);
+    });
+    bench::cell(total);
+    bench::cell(ts.load());
+    bench::cell(tg.load());
+    bench::cell(tsp.load());
+    bench::endrow();
+  }
+  std::printf("\n# shape check: set_async < split_phase < get_sync per op\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Fig. 30: pArray set_element (async), get_element (sync) and
+// split_phase_get_element for varying location counts.  Expected shape:
+// async writes stay cheap as P grows (aggregated one-way traffic), sync
+// reads pay a round trip, split-phase recovers most of the gap by
+// overlapping.
+
+#include "bench_common.hpp"
+#include "containers/p_array.hpp"
+
+#include <atomic>
+
+int main()
+{
+  using namespace stapl;
+  std::printf("# Fig. 30 — set vs get vs split-phase (seconds for N ops)\n");
+  bench::table_header("methods vs locations",
+                      {"locations", "set_async", "get_sync", "split_phase"});
+
+  std::size_t const ops = 2'000 * bench::scale();
+  for (unsigned p : bench::default_locations) {
+    std::atomic<double> ts{0}, tg{0}, tsp{0};
+    execute(p, [&] {
+      std::size_t const n = 1'000 * num_locations();
+      p_array<long> pa(n);
+      // Target the next location's block: all-remote when P > 1.
+      gid1d const base = 1'000 * ((this_location() + 1) % num_locations());
+
+      double t = bench::timed_kernel([&] {
+        for (std::size_t i = 0; i < ops; ++i)
+          pa.set_element(base + i % 1'000, static_cast<long>(i));
+      });
+      if (this_location() == 0)
+        ts.store(t);
+
+      t = bench::timed_kernel([&] {
+        long sink = 0;
+        for (std::size_t i = 0; i < ops; ++i)
+          sink += pa.get_element(base + i % 1'000);
+        if (sink == std::numeric_limits<long>::min())
+          std::abort();
+      });
+      if (this_location() == 0)
+        tg.store(t);
+
+      t = bench::timed_kernel([&] {
+        std::vector<pc_future<long>> futs;
+        futs.reserve(128);
+        long sink = 0;
+        for (std::size_t i = 0; i < ops; ++i) {
+          futs.push_back(pa.split_phase_get_element(base + i % 1'000));
+          if (futs.size() == 128) {
+            for (auto& f : futs)
+              sink += f.get();
+            futs.clear();
+          }
+        }
+        for (auto& f : futs)
+          sink += f.get();
+        if (sink == std::numeric_limits<long>::min())
+          std::abort();
+      });
+      if (this_location() == 0)
+        tsp.store(t);
+    });
+    bench::cell(static_cast<std::size_t>(p));
+    bench::cell(ts.load());
+    bench::cell(tg.load());
+    bench::cell(tsp.load());
+    bench::endrow();
+  }
+  return 0;
+}

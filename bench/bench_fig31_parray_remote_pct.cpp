@@ -1,0 +1,57 @@
+// Fig. 31: pArray methods for various percentages of remote invocations.
+// Expected shape: cost grows monotonically with the remote fraction; async
+// writes degrade much more slowly than sync reads.
+
+#include "bench_common.hpp"
+#include "containers/p_array.hpp"
+
+#include <atomic>
+
+int main()
+{
+  using namespace stapl;
+  std::printf("# Fig. 31 — methods vs %% remote invocations (P=4)\n");
+  bench::table_header("remote fraction",
+                      {"remote_pct", "set_async", "get_sync"});
+
+  unsigned const p = 4;
+  std::size_t const ops = 4'000 * bench::scale();
+  for (int pct : {0, 25, 50, 75, 100}) {
+    std::atomic<double> ts{0}, tg{0};
+    execute(p, [&] {
+      std::size_t const block = 1'000;
+      p_array<long> pa(block * num_locations());
+      gid1d const local_base = block * this_location();
+      gid1d const remote_base =
+          block * ((this_location() + 1) % num_locations());
+
+      auto target = [&](std::size_t i) {
+        bool const remote =
+            static_cast<int>(i * 100 / ops) < pct && num_locations() > 1;
+        return (remote ? remote_base : local_base) + i % block;
+      };
+
+      double t = bench::timed_kernel([&] {
+        for (std::size_t i = 0; i < ops; ++i)
+          pa.set_element(target(i), static_cast<long>(i));
+      });
+      if (this_location() == 0)
+        ts.store(t);
+
+      t = bench::timed_kernel([&] {
+        long sink = 0;
+        for (std::size_t i = 0; i < ops; ++i)
+          sink += pa.get_element(target(i));
+        if (sink == std::numeric_limits<long>::min())
+          std::abort();
+      });
+      if (this_location() == 0)
+        tg.store(t);
+    });
+    bench::cell(static_cast<std::size_t>(pct));
+    bench::cell(ts.load());
+    bench::cell(tg.load());
+    bench::endrow();
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Fig. 32: pArray local vs remote method invocations for various container
+// sizes.  Expected shape: both flat in container size; a large constant gap
+// between local and remote per-op cost.
+
+#include "bench_common.hpp"
+#include "containers/p_array.hpp"
+
+#include <atomic>
+
+int main()
+{
+  using namespace stapl;
+  std::printf("# Fig. 32 — local vs remote invocations (P=4, seconds)\n");
+  bench::table_header("size sweep", {"N", "local_set", "remote_set",
+                                     "local_get", "remote_get"});
+
+  unsigned const p = 4;
+  std::size_t const ops = 4'000 * bench::scale();
+  for (std::size_t n : {8'000u, 64'000u, 512'000u}) {
+    std::atomic<double> tls{0}, trs{0}, tlg{0}, trg{0};
+    execute(p, [&] {
+      p_array<long> pa(n);
+      std::size_t const block = n / num_locations();
+      gid1d const local_base = block * this_location();
+      gid1d const remote_base = block * ((this_location() + 1) % num_locations());
+
+      double t = bench::timed_kernel([&] {
+        for (std::size_t i = 0; i < ops; ++i)
+          pa.set_element(local_base + i % block, 1L);
+      });
+      if (this_location() == 0)
+        tls.store(t);
+      t = bench::timed_kernel([&] {
+        for (std::size_t i = 0; i < ops; ++i)
+          pa.set_element(remote_base + i % block, 1L);
+      });
+      if (this_location() == 0)
+        trs.store(t);
+      t = bench::timed_kernel([&] {
+        long sink = 0;
+        for (std::size_t i = 0; i < ops; ++i)
+          sink += pa.get_element(local_base + i % block);
+        if (sink < 0)
+          std::abort();
+      });
+      if (this_location() == 0)
+        tlg.store(t);
+      t = bench::timed_kernel([&] {
+        long sink = 0;
+        for (std::size_t i = 0; i < ops; ++i)
+          sink += pa.get_element(remote_base + i % block);
+        if (sink < 0)
+          std::abort();
+      });
+      if (this_location() == 0)
+        trg.store(t);
+    });
+    bench::cell(n);
+    bench::cell(tls.load());
+    bench::cell(trs.load());
+    bench::cell(tlg.load());
+    bench::cell(trg.load());
+    bench::endrow();
+  }
+  return 0;
+}

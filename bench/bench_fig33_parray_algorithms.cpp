@@ -1,0 +1,55 @@
+// Fig. 33: execution times for generic algorithms (p_generate, p_for_each,
+// p_accumulate) on a pArray, weak scaling (fixed elements per location).
+// Expected shape: near-flat weak-scaling curves (all work is local through
+// the native-aligned view).
+
+#include "algorithms/p_algorithms.hpp"
+#include "bench_common.hpp"
+#include "containers/p_array.hpp"
+
+#include <atomic>
+
+int main()
+{
+  using namespace stapl;
+  std::printf("# Fig. 33 — generic algorithms on pArray, weak scaling\n");
+  bench::table_header("per-loc 200k elements (seconds)",
+                      {"locations", "p_generate", "p_for_each",
+                       "p_accumulate"});
+
+  std::size_t const per_loc = 200'000 * bench::scale();
+  for (unsigned p : bench::default_locations) {
+    std::atomic<double> tg{0}, tf{0}, ta{0};
+    execute(p, [&] {
+      p_array<long> pa(per_loc * num_locations());
+      array_1d_view v(pa);
+
+      double t = bench::timed_kernel([&] {
+        long c = 0;
+        p_generate(v, [&c] { return c++; });
+      });
+      if (this_location() == 0)
+        tg.store(t);
+
+      t = bench::timed_kernel([&] {
+        p_for_each(v, [](long& x) { x += 3; });
+      });
+      if (this_location() == 0)
+        tf.store(t);
+
+      t = bench::timed_kernel([&] {
+        long const s = p_accumulate(v, 0L);
+        if (s < 0)
+          std::abort();
+      });
+      if (this_location() == 0)
+        ta.store(t);
+    });
+    bench::cell(static_cast<std::size_t>(p));
+    bench::cell(tg.load());
+    bench::cell(tf.load());
+    bench::cell(ta.load());
+    bench::endrow();
+  }
+  return 0;
+}

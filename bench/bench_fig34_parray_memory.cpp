@@ -1,0 +1,41 @@
+// Tables XXII/XXIII + Fig. 34: pArray memory consumption — data vs
+// metadata bytes as a function of the number of bContainers per location.
+// Expected shape: data constant; metadata grows linearly with the number of
+// sub-domains, staying a small fraction of data for reasonable block
+// counts.
+
+#include "bench_common.hpp"
+#include "containers/p_array.hpp"
+
+#include <atomic>
+
+int main()
+{
+  using namespace stapl;
+  std::printf("# Fig. 34 / Tables XXII-XXIII — pArray memory usage\n");
+  bench::table_header("N=1M doubles, P=4",
+                      {"bContainers", "data_bytes", "metadata_bytes",
+                       "meta_pct"});
+
+  std::size_t const n = 1'000'000 * bench::scale();
+  for (std::size_t bcs_per_loc : {1u, 4u, 16u, 64u, 256u}) {
+    std::atomic<std::size_t> data{0}, meta{0};
+    execute(4, [&] {
+      p_array<double, block_cyclic_partition> pa(
+          n, block_cyclic_partition(bcs_per_loc * num_locations(),
+                                    n / (bcs_per_loc * num_locations() * 4)));
+      auto const [m, d] = pa.global_memory_size();
+      if (this_location() == 0) {
+        data.store(d);
+        meta.store(m);
+      }
+    });
+    bench::cell(bcs_per_loc * 4);
+    bench::cell(data.load());
+    bench::cell(meta.load());
+    bench::cell(100.0 * static_cast<double>(meta.load()) /
+                static_cast<double>(data.load()));
+    bench::endrow();
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fig. 39: execution times for pList methods.  Expected shape:
+// push_anywhere (local) is by far the cheapest and scales perfectly;
+// push_back funnels to the tail owner (serialization point); insert/erase
+// by GID sit in between (one async hop each).
+
+#include "bench_common.hpp"
+#include "containers/p_list.hpp"
+
+#include <atomic>
+
+int main()
+{
+  using namespace stapl;
+  std::printf("# Fig. 39 — pList methods (seconds for N/P ops per loc)\n");
+  bench::table_header("pList methods",
+                      {"locations", "push_back", "push_anywhere",
+                       "insert_async", "erase"});
+
+  std::size_t const ops = 10'000 * bench::scale();
+  for (unsigned p : bench::default_locations) {
+    std::atomic<double> tb{0}, ta{0}, ti{0}, te{0};
+    execute(p, [&] {
+      p_list<long> pl;
+
+      double t = bench::timed_kernel([&] {
+        for (std::size_t i = 0; i < ops; ++i)
+          pl.push_back(static_cast<long>(i));
+      });
+      if (this_location() == 0)
+        tb.store(t);
+
+      t = bench::timed_kernel([&] {
+        for (std::size_t i = 0; i < ops; ++i)
+          pl.push_anywhere_async(static_cast<long>(i));
+      });
+      if (this_location() == 0)
+        ta.store(t);
+
+      // Insert before a local anchor.
+      auto anchor = pl.push_anywhere(-1);
+      rmi_fence();
+      t = bench::timed_kernel([&] {
+        for (std::size_t i = 0; i < ops; ++i)
+          pl.insert_element_async(anchor, static_cast<long>(i));
+      });
+      if (this_location() == 0)
+        ti.store(t);
+
+      // Erase local elements.
+      std::vector<dynamic_gid> gids;
+      gids.reserve(ops);
+      for (std::size_t i = 0; i < ops; ++i)
+        gids.push_back(pl.push_anywhere(1));
+      rmi_fence();
+      t = bench::timed_kernel([&] {
+        for (auto g : gids)
+          pl.erase_element(g);
+      });
+      if (this_location() == 0)
+        te.store(t);
+    });
+    bench::cell(static_cast<std::size_t>(p));
+    bench::cell(tb.load());
+    bench::cell(ta.load());
+    bench::cell(ti.load());
+    bench::cell(te.load());
+    bench::endrow();
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Fig. 40: p_for_each / p_generate / p_accumulate on pArray vs pList.
+// Expected shape: both flat under weak scaling; the pList pays a constant
+// factor for linked storage and GID indexing.
+
+#include "algorithms/p_algorithms.hpp"
+#include "bench_common.hpp"
+#include "containers/p_array.hpp"
+#include "containers/p_list.hpp"
+
+#include <atomic>
+
+int main()
+{
+  using namespace stapl;
+  std::printf("# Fig. 40 — algorithms on pArray vs pList (seconds)\n");
+  bench::table_header("per-loc 100k elements",
+                      {"locations", "arr_foreach", "list_foreach",
+                       "arr_accum", "list_accum"});
+
+  std::size_t const per_loc = 100'000 * bench::scale();
+  for (unsigned p : bench::default_locations) {
+    std::atomic<double> taf{0}, tlf{0}, taa{0}, tla{0};
+    execute(p, [&] {
+      p_array<long> pa(per_loc * num_locations(), 1);
+      p_list<long> pl;
+      for (std::size_t i = 0; i < per_loc; ++i)
+        pl.push_anywhere_async(1);
+      rmi_fence();
+
+      array_1d_view av(pa);
+      native_view lv(pl);
+
+      double t = bench::timed_kernel([&] {
+        p_for_each(av, [](long& x) { x += 1; });
+      });
+      if (this_location() == 0)
+        taf.store(t);
+
+      t = bench::timed_kernel([&] {
+        p_for_each(lv, [](long& x) { x += 1; });
+      });
+      if (this_location() == 0)
+        tlf.store(t);
+
+      t = bench::timed_kernel([&] {
+        if (p_accumulate(av, 0L) < 0)
+          std::abort();
+      });
+      if (this_location() == 0)
+        taa.store(t);
+
+      t = bench::timed_kernel([&] {
+        if (p_accumulate(lv, 0L) < 0)
+          std::abort();
+      });
+      if (this_location() == 0)
+        tla.store(t);
+    });
+    bench::cell(static_cast<std::size_t>(p));
+    bench::cell(taf.load());
+    bench::cell(tlf.load());
+    bench::cell(taa.load());
+    bench::cell(tla.load());
+    bench::endrow();
+  }
+  return 0;
+}

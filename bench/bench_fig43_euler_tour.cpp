@@ -1,0 +1,42 @@
+// Fig. 43: weak scaling of the Euler tour algorithm (binary tree input,
+// fixed vertices per location).  Expected shape: near-linear growth of the
+// tour+ranking cost with log(len) rounds of pointer jumping; weak-scaling
+// curves stay close as P grows.
+
+#include "algorithms/euler_tour.hpp"
+#include "bench_common.hpp"
+
+#include <atomic>
+
+int main()
+{
+  using namespace stapl;
+  std::printf("# Fig. 43 — Euler tour weak scaling\n");
+  bench::table_header("per-loc vertices (seconds)",
+                      {"locations", "n_total", "build_tour", "list_rank"});
+
+  std::size_t const per_loc = 8'000 * bench::scale();
+  for (unsigned p : bench::default_locations) {
+    std::atomic<double> tb{0}, tr{0};
+    std::size_t const n = per_loc * p;
+    execute(p, [&] {
+      std::size_t const len = 2 * (n - 1);
+      p_array<std::size_t> succ(len);
+      p_array<long> pos(len);
+
+      double t = bench::timed_kernel([&] { build_euler_tour(succ, n); });
+      if (this_location() == 0)
+        tb.store(t);
+
+      t = bench::timed_kernel([&] { list_rank(succ, pos); });
+      if (this_location() == 0)
+        tr.store(t);
+    });
+    bench::cell(static_cast<std::size_t>(p));
+    bench::cell(n);
+    bench::cell(tb.load());
+    bench::cell(tr.load());
+    bench::endrow();
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 44: execution times for the Euler tour technique and its
+// applications (rooting, vertex levels, postorder numbering) on binary
+// trees of two sizes (paper: 500k / 1M subtrees per processor; scaled
+// here).  Expected shape: the applications add only prefix-sum and scatter
+// time on top of tour construction + list ranking.
+
+#include "algorithms/euler_tour.hpp"
+#include "bench_common.hpp"
+
+#include <atomic>
+
+int main()
+{
+  using namespace stapl;
+  std::printf("# Fig. 44 — Euler tour applications\n");
+  bench::table_header("full pipeline (seconds)",
+                      {"locations", "n_small", "t_small", "n_large",
+                       "t_large"});
+
+  for (unsigned p : bench::default_locations) {
+    std::size_t const n_small = 4'000 * p * bench::scale();
+    std::size_t const n_large = 8'000 * p * bench::scale();
+    std::atomic<double> ts{0}, tl{0};
+    execute(p, [&] {
+      {
+        euler_tour_results r(n_small);
+        double const t = bench::timed_kernel(
+            [&] { euler_tour_applications(n_small, r); });
+        if (this_location() == 0)
+          ts.store(t);
+      }
+      {
+        euler_tour_results r(n_large);
+        double const t = bench::timed_kernel(
+            [&] { euler_tour_applications(n_large, r); });
+        if (this_location() == 0)
+          tl.store(t);
+      }
+    });
+    bench::cell(static_cast<std::size_t>(p));
+    bench::cell(n_small);
+    bench::cell(ts.load());
+    bench::cell(n_large);
+    bench::cell(tl.load());
+    bench::endrow();
+  }
+  return 0;
+}

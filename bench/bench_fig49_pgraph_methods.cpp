@@ -1,0 +1,79 @@
+// Figs. 49/50: evaluation of static and dynamic pGraph methods using the
+// SSCA2-style generator: add_vertex, add_edge, find_vertex, find_edge,
+// delete_edge.  Expected shape: static resolution is cheapest (closed
+// form); the dynamic graph pays directory traffic on vertex creation and
+// remote lookups.
+
+#include "bench_common.hpp"
+#include "containers/graph_generators.hpp"
+
+#include <atomic>
+
+int main()
+{
+  using namespace stapl;
+  std::printf("# Figs. 49/50 — pGraph methods with SSCA2 input\n");
+  bench::table_header("per-loc 2k vertices (seconds)",
+                      {"locations", "kind", "build", "find_vertex",
+                       "add_edge", "find_edge"});
+
+  std::size_t const per_loc = 2'000 * bench::scale();
+  for (unsigned p : bench::default_locations) {
+    for (int kindi = 0; kindi < 2; ++kindi) {
+      std::atomic<double> tb{0}, tfv{0}, tae{0}, tfe{0};
+      std::size_t const n = per_loc * p;
+      execute(p, [&] {
+        auto const kind = kindi == 0
+                              ? graph_partition_kind::static_balanced
+                              : graph_partition_kind::dynamic_forwarding;
+        using G = p_graph<DIRECTED, MULTI, int, no_property>;
+
+        double t = bench::timed_kernel([&] {
+          G g(kind == graph_partition_kind::static_balanced ? n : 0, kind);
+          generate_ssca2(g, n, 8, 0.1); // adds vertices for dynamic graphs
+        });
+        if (this_location() == 0)
+          tb.store(t);
+
+        G g(kind == graph_partition_kind::static_balanced ? n : 0, kind);
+        generate_ssca2(g, n, 8, 0.1);
+
+        std::size_t const probes = 1'000;
+        t = bench::timed_kernel([&] {
+          for (std::size_t i = 0; i < probes; ++i)
+            if (!g.find_vertex((i * 37 + this_location()) % n))
+              std::abort();
+        });
+        if (this_location() == 0)
+          tfv.store(t);
+
+        t = bench::timed_kernel([&] {
+          for (std::size_t i = 0; i < probes; ++i)
+            g.add_edge_async((i * 13 + this_location()) % n, (i * 41) % n);
+        });
+        if (this_location() == 0)
+          tae.store(t);
+
+        t = bench::timed_kernel([&] {
+          std::size_t hits = 0;
+          for (std::size_t i = 0; i < probes; ++i)
+            hits += g.find_edge((i * 7) % n, (i * 7) % n + 1 < n
+                                                ? (i * 7) % n + 1
+                                                : 0);
+          if (hits == static_cast<std::size_t>(-1))
+            std::abort();
+        });
+        if (this_location() == 0)
+          tfe.store(t);
+      });
+      bench::cell(static_cast<std::size_t>(p));
+      bench::cell(std::string(kindi == 0 ? "static" : "dynamic"));
+      bench::cell(tb.load());
+      bench::cell(tfv.load());
+      bench::cell(tae.load());
+      bench::cell(tfe.load());
+      bench::endrow();
+    }
+  }
+  return 0;
+}

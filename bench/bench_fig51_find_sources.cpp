@@ -1,0 +1,54 @@
+// Fig. 51: find_sources in a directed pGraph using static, dynamic with
+// forwarding and dynamic with no forwarding partitions.  The kernel issues
+// one remote vertex method per edge, so it magnifies address-translation
+// cost.  Expected shape: static < dynamic+forwarding < dynamic
+// no-forwarding (the extra synchronous directory round trip per miss).
+
+#include "algorithms/graph_algorithms.hpp"
+#include "bench_common.hpp"
+#include "containers/graph_generators.hpp"
+
+#include <atomic>
+
+int main()
+{
+  using namespace stapl;
+  std::printf("# Fig. 51 — find_sources vs address translation mode\n");
+  bench::table_header("DAG layers x width (seconds)",
+                      {"locations", "static", "dyn_fwd", "dyn_nofwd"});
+
+  for (unsigned p : bench::default_locations) {
+    std::size_t const width = 500 * bench::scale();
+    std::size_t const layers = 2 * p;
+    double times[3] = {0, 0, 0};
+    graph_partition_kind const kinds[3] = {
+        graph_partition_kind::static_balanced,
+        graph_partition_kind::dynamic_forwarding,
+        graph_partition_kind::dynamic_no_forwarding};
+    for (int k = 0; k < 3; ++k) {
+      std::atomic<double> t{0};
+      execute(p, [&] {
+        using G = p_graph<DIRECTED, MULTI, indegree_property, no_property>;
+        std::size_t const n = layers * width;
+        G g(kinds[k] == graph_partition_kind::static_balanced ? n : 0,
+            kinds[k]);
+        generate_dag(g, layers, width, 2);
+        double const tt = bench::timed_kernel([&] {
+          auto const sources = find_sources(g);
+          auto const total = allreduce(sources.size(), std::plus<>{});
+          if (total != width)
+            std::abort();
+        });
+        if (this_location() == 0)
+          t.store(tt);
+      });
+      times[k] = t.load();
+    }
+    bench::cell(static_cast<std::size_t>(p));
+    bench::cell(times[0]);
+    bench::cell(times[1]);
+    bench::cell(times[2]);
+    bench::endrow();
+  }
+  return 0;
+}

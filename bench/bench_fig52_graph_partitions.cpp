@@ -1,0 +1,62 @@
+// Fig. 52: comparison of pGraph partitions — build time and traversal time
+// under the three address-translation modes on an SSCA2-style input.
+// Expected shape: static builds fastest (no directory registration) and
+// traverses fastest; the dynamic variants pay directory maintenance.
+
+#include "algorithms/graph_algorithms.hpp"
+#include "bench_common.hpp"
+#include "containers/graph_generators.hpp"
+
+#include <atomic>
+
+int main()
+{
+  using namespace stapl;
+  std::printf("# Fig. 52 — pGraph partitions: build + traversal\n");
+  bench::table_header("SSCA2 4k/loc (seconds)",
+                      {"locations", "kind", "build", "bfs"});
+
+  std::size_t const per_loc = 1'000 * bench::scale();
+  char const* names[3] = {"static", "dyn_fwd", "dyn_nofwd"};
+  graph_partition_kind const kinds[3] = {
+      graph_partition_kind::static_balanced,
+      graph_partition_kind::dynamic_forwarding,
+      graph_partition_kind::dynamic_no_forwarding};
+
+  for (unsigned p : bench::default_locations) {
+    for (int k = 0; k < 3; ++k) {
+      std::atomic<double> tb{0}, tt{0};
+      execute(p, [&] {
+        using G = p_graph<DIRECTED, MULTI, bfs_property, no_property>;
+        std::size_t const n = per_loc * num_locations();
+        double t = bench::timed_kernel([&] {
+          G g(kinds[k] == graph_partition_kind::static_balanced ? n : 0,
+              kinds[k]);
+          generate_ssca2(g, n, 8, 0.3);
+        });
+        if (this_location() == 0)
+          tb.store(t);
+
+        G g(kinds[k] == graph_partition_kind::static_balanced ? n : 0,
+            kinds[k]);
+        generate_ssca2(g, n, 8, 0.3);
+        // Link cliques into a chain so BFS reaches most of the graph.
+        auto const [lo, hi] = std::pair<std::size_t, std::size_t>(
+            0, n); // location 0 adds chain edges
+        if (this_location() == 0)
+          for (std::size_t v = lo; v + 8 < hi; v += 8)
+            g.add_edge_async(v, v + 8);
+        rmi_fence();
+        t = bench::timed_kernel([&] { (void)bfs_levels(g, 0); });
+        if (this_location() == 0)
+          tt.store(t);
+      });
+      bench::cell(static_cast<std::size_t>(p));
+      bench::cell(std::string(names[k]));
+      bench::cell(tb.load());
+      bench::cell(tt.load());
+      bench::endrow();
+    }
+  }
+  return 0;
+}

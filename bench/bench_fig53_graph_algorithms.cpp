@@ -1,0 +1,80 @@
+// Figs. 53/54/55: execution times for different pGraph algorithms — BFS,
+// connected components, find_sources and max out-degree — on mesh and
+// SSCA2 inputs, weak scaling.  Expected shape: near-flat per-location cost
+// for the full-scan statistic; BFS/CC grow with graph diameter and
+// cross-location edges.
+
+#include "algorithms/graph_algorithms.hpp"
+#include "bench_common.hpp"
+#include "containers/graph_generators.hpp"
+
+#include <atomic>
+
+int main()
+{
+  using namespace stapl;
+  std::printf("# Figs. 53/54/55 — pGraph algorithms\n");
+  bench::table_header("mesh + ssca2 (seconds)",
+                      {"locations", "bfs_mesh", "cc_mesh", "sources_dag",
+                       "maxdeg_ssca2"});
+
+  std::size_t const per_loc = 1'000 * bench::scale();
+  for (unsigned p : bench::default_locations) {
+    std::atomic<double> tb{0}, tc{0}, ts{0}, td{0};
+    execute(p, [&] {
+      std::size_t const n = per_loc * num_locations();
+      std::size_t const cols = 50;
+      std::size_t const rows = n / cols;
+
+      {
+        p_graph<DIRECTED, NONMULTI, bfs_property, no_property> mesh(rows *
+                                                                    cols);
+        generate_mesh(mesh, rows, cols);
+        double const t = bench::timed_kernel([&] {
+          if (bfs_levels(mesh, 0) == 0)
+            std::abort();
+        });
+        if (this_location() == 0)
+          tb.store(t);
+      }
+      {
+        p_graph<UNDIRECTED, NONMULTI, cc_property, no_property> mesh(rows *
+                                                                     cols);
+        generate_mesh(mesh, rows, cols);
+        double const t = bench::timed_kernel([&] {
+          if (connected_components(mesh) != 1)
+            std::abort();
+        });
+        if (this_location() == 0)
+          tc.store(t);
+      }
+      {
+        p_graph<DIRECTED, MULTI, indegree_property, no_property> dag(n);
+        generate_dag(dag, n / 100, 100, 2);
+        double const t = bench::timed_kernel([&] {
+          auto const s = find_sources(dag);
+          (void)s;
+        });
+        if (this_location() == 0)
+          ts.store(t);
+      }
+      {
+        p_graph<DIRECTED, NONMULTI, int, no_property> ssca(n);
+        generate_ssca2(ssca, n, 8, 0.2);
+        double const t = bench::timed_kernel([&] {
+          if (max_out_degree(ssca) == 0)
+            std::abort();
+        });
+        if (this_location() == 0)
+          td.store(t);
+      }
+    });
+    bench::cell(static_cast<std::size_t>(p));
+    bench::cell(tb.load());
+    bench::cell(tc.load());
+    bench::cell(ts.load());
+    bench::cell(td.load());
+    bench::endrow();
+  }
+  return 0;
+}

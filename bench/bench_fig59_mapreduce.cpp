@@ -1,0 +1,98 @@
+// Fig. 59: MapReduce counting the number of occurrences of every word in a
+// corpus (paper: Simple English Wikipedia, 1.5 GB; here: a synthetic
+// Zipf-distributed corpus exercising the same pHashMap shuffle path).
+// Expected shape: near-flat weak scaling; the local combiner cuts shuffle
+// traffic by roughly the corpus/vocabulary ratio.
+
+#include "algorithms/map_reduce.hpp"
+#include "bench_common.hpp"
+#include "containers/p_array.hpp"
+#include "views/views.hpp"
+
+#include <atomic>
+#include <random>
+
+namespace {
+
+/// Synthetic document of `words` Zipf-distributed words (vocabulary size
+/// `vocab`, exponent ~1: word k with probability ~ 1/k).
+std::string make_document(std::mt19937& gen, std::size_t words,
+                          std::size_t vocab)
+{
+  // Inverse-CDF sampling over harmonic weights.
+  static thread_local std::vector<double> cdf;
+  if (cdf.size() != vocab) {
+    cdf.assign(vocab, 0.0);
+    double acc = 0;
+    for (std::size_t k = 0; k < vocab; ++k) {
+      acc += 1.0 / static_cast<double>(k + 1);
+      cdf[k] = acc;
+    }
+    for (auto& x : cdf)
+      x /= acc;
+  }
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::string doc;
+  for (std::size_t i = 0; i < words; ++i) {
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), u(gen));
+    doc += "w" + std::to_string(it - cdf.begin());
+    doc += ' ';
+  }
+  return doc;
+}
+
+} // namespace
+
+int main()
+{
+  using namespace stapl;
+  std::printf("# Fig. 59 — MapReduce word count (Zipf corpus)\n");
+  bench::table_header("40 docs x 500 words per loc (seconds)",
+                      {"locations", "combiner_on", "combiner_off",
+                       "distinct"});
+
+  std::size_t const docs_per_loc = 40;
+  std::size_t const words_per_doc = 500 * bench::scale();
+  std::size_t const vocab = 2'000;
+
+  for (unsigned p : bench::default_locations) {
+    std::atomic<double> ton{0}, toff{0};
+    std::atomic<std::size_t> distinct{0};
+    execute(p, [&] {
+      std::size_t const ndocs = docs_per_loc * num_locations();
+      p_array<std::string> corpus(ndocs);
+      std::mt19937 gen(5 + this_location());
+      corpus.for_each_local([&](gid1d, std::string& d) {
+        d = make_document(gen, words_per_doc, vocab);
+      });
+      rmi_fence();
+
+      {
+        p_hash_map<std::string, long> counts;
+        double const t = bench::timed_kernel([&] {
+          word_count(array_1d_view(corpus), counts, {true});
+        });
+        if (this_location() == 0) {
+          ton.store(t);
+          distinct.store(counts.size());
+        }
+        rmi_fence();
+      }
+      {
+        p_hash_map<std::string, long> counts;
+        double const t = bench::timed_kernel([&] {
+          word_count(array_1d_view(corpus), counts, {false});
+        });
+        if (this_location() == 0)
+          toff.store(t);
+        rmi_fence();
+      }
+    });
+    bench::cell(static_cast<std::size_t>(p));
+    bench::cell(ton.load());
+    bench::cell(toff.load());
+    bench::cell(distinct.load());
+    bench::endrow();
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Fig. 60: scalability of generic algorithms over associative pContainers
+// (p_for_each / p_accumulate / p_count_if on pMap and pHashMap views).
+// Expected shape: flat weak scaling; the sorted map pays a log-factor over
+// the hash map on local traversal.
+
+#include "algorithms/p_algorithms.hpp"
+#include "bench_common.hpp"
+#include "containers/p_associative.hpp"
+
+#include <atomic>
+
+int main()
+{
+  using namespace stapl;
+  std::printf("# Fig. 60 — generic algorithms on associative containers\n");
+  bench::table_header("per-loc 20k keys (seconds)",
+                      {"locations", "hmap_foreach", "hmap_accum",
+                       "map_foreach", "map_accum"});
+
+  std::size_t const per_loc = 20'000 * bench::scale();
+  for (unsigned p : bench::default_locations) {
+    std::atomic<double> thf{0}, tha{0}, tmf{0}, tma{0};
+    execute(p, [&] {
+      std::size_t const n = per_loc * num_locations();
+      p_hash_map<long, long> hm;
+      p_map<long, long> sm;
+      // Bulk load: each location inserts a strided share (mostly remote,
+      // aggregated).
+      for (std::size_t k = this_location(); k < n; k += num_locations()) {
+        hm.insert_async(static_cast<long>(k), 1);
+        sm.insert_async(static_cast<long>(k), 1);
+      }
+      rmi_fence();
+
+      map_view hv(hm);
+      map_view sv(sm);
+
+      double t = bench::timed_kernel([&] {
+        p_for_each(hv, [](long& v) { v += 1; });
+      });
+      if (this_location() == 0)
+        thf.store(t);
+      t = bench::timed_kernel([&] {
+        if (p_accumulate(hv, 0L) < 0)
+          std::abort();
+      });
+      if (this_location() == 0)
+        tha.store(t);
+      t = bench::timed_kernel([&] {
+        p_for_each(sv, [](long& v) { v += 1; });
+      });
+      if (this_location() == 0)
+        tmf.store(t);
+      t = bench::timed_kernel([&] {
+        if (p_accumulate(sv, 0L) < 0)
+          std::abort();
+      });
+      if (this_location() == 0)
+        tma.store(t);
+    });
+    bench::cell(static_cast<std::size_t>(p));
+    bench::cell(thf.load());
+    bench::cell(tha.load());
+    bench::cell(tmf.load());
+    bench::cell(tma.load());
+    bench::endrow();
+  }
+  return 0;
+}

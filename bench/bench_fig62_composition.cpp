@@ -1,0 +1,104 @@
+// Fig. 62: comparison of pArray<pArray<>>, pList<pArray<>> and pMatrix on
+// computing the minimum value of each row of a matrix.  Expected shape:
+// pMatrix fastest (dense native storage), composed pArray close behind,
+// pList<pArray> slowest (linked outer level) — but all within a small
+// factor, the composition-overhead claim of Ch. XIII.
+
+#include "algorithms/p_algorithms.hpp"
+#include "bench_common.hpp"
+#include "containers/p_array.hpp"
+#include "containers/p_list.hpp"
+#include "containers/p_matrix.hpp"
+
+#include <atomic>
+
+int main()
+{
+  using namespace stapl;
+  std::printf("# Fig. 62 — row minima: pa<pa>, plist<pa>, pMatrix\n");
+  bench::table_header("rows x 256 (seconds)",
+                      {"locations", "pa<pa>", "plist<pa>", "pMatrix"});
+
+  std::size_t const cols = 256;
+  std::size_t const rows_per_loc = 200 * bench::scale();
+  for (unsigned p : bench::default_locations) {
+    std::atomic<double> tpa{0}, tpl{0}, tpm{0};
+    execute(p, [&] {
+      std::size_t const rows = rows_per_loc * num_locations();
+      auto fill_row = [cols](std::size_t r, auto& row) {
+        row.resize(cols);
+        for (std::size_t c = 0; c < cols; ++c)
+          row[c] = static_cast<long>((r * 31 + c * 17) % 1009);
+      };
+
+      // pArray<pArray<>> — composed array of rows.
+      p_array<std::vector<long>> pa(rows);
+      pa.for_each_local(fill_row);
+      rmi_fence();
+      double t = bench::timed_kernel([&] {
+        long sink = 0;
+        pa.for_each_local([&](gid1d, std::vector<long>& row) {
+          sink += *std::min_element(row.begin(), row.end());
+        });
+        long const total = allreduce(sink, std::plus<>{});
+        if (total < 0)
+          std::abort();
+      });
+      if (this_location() == 0)
+        tpa.store(t);
+
+      // pList<pArray<>> — composed list of rows.
+      p_list<std::vector<long>> pl;
+      for (std::size_t r = 0; r < rows_per_loc; ++r) {
+        std::vector<long> row;
+        fill_row(r + rows_per_loc * this_location(), row);
+        pl.push_anywhere_async(std::move(row));
+      }
+      rmi_fence();
+      t = bench::timed_kernel([&] {
+        long sink = 0;
+        pl.for_each_local([&](dynamic_gid, std::vector<long>& row) {
+          sink += *std::min_element(row.begin(), row.end());
+        });
+        long const total = allreduce(sink, std::plus<>{});
+        if (total < 0)
+          std::abort();
+      });
+      if (this_location() == 0)
+        tpl.store(t);
+
+      // pMatrix — native 2D container, row-wise blocks.
+      p_matrix<long> pm(rows, cols);
+      pm.for_each_local([&](gid2d g, long& x) {
+        x = static_cast<long>((g.row * 31 + g.col * 17) % 1009);
+      });
+      rmi_fence();
+      t = bench::timed_kernel([&] {
+        // Native traversal: iterate dense blocks row by row (the pMatrix
+        // fast path the figure contrasts against composed containers).
+        long acc = 0;
+        for (auto& [bcid, bcptr] : pm.get_location_manager()) {
+          auto const& data = bcptr->data();
+          std::size_t const bc_cols = bcptr->cols();
+          for (std::size_t r = 0; r < bcptr->rows(); ++r) {
+            long row_min = data[r * bc_cols];
+            for (std::size_t c = 1; c < bc_cols; ++c)
+              row_min = std::min(row_min, data[r * bc_cols + c]);
+            acc += row_min;
+          }
+        }
+        long const total = allreduce(acc, std::plus<>{});
+        if (total < 0)
+          std::abort();
+      });
+      if (this_location() == 0)
+        tpm.store(t);
+    });
+    bench::cell(static_cast<std::size_t>(p));
+    bench::cell(tpa.load());
+    bench::cell(tpl.load());
+    bench::cell(tpm.load());
+    bench::endrow();
+  }
+  return 0;
+}

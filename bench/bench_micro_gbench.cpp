@@ -1,0 +1,126 @@
+// Google-benchmark micro-benchmarks of the primitive costs every figure is
+// built from: local vs remote element methods, RMI layer primitives, fence
+// cost, and serialization throughput.  Complements the paper-figure tables
+// with statistically-sound per-op numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "containers/p_array.hpp"
+#include "runtime/serialization.hpp"
+#include "runtime/timer.hpp"
+
+#include <atomic>
+
+namespace {
+
+using namespace stapl;
+
+// Runs `ops` operations inside a 4-location SPMD region and reports
+// per-operation time (the SPMD launch overhead is subtracted by measuring
+// inside the region and maximizing over locations).
+template <typename Kernel>
+double spmd_seconds(std::size_t ops, Kernel kernel)
+{
+  std::atomic<double> out{0};
+  execute(4, [&] {
+    p_array<long> pa(4'000);
+    rmi_fence();
+    auto tm = start_timer();
+    kernel(pa, ops);
+    rmi_fence();
+    double const t = stop_timer(tm);
+    double const worst =
+        allreduce(t, [](double a, double b) { return a < b ? b : a; });
+    if (this_location() == 0)
+      out.store(worst);
+  });
+  return out.load();
+}
+
+void BM_LocalSetElement(benchmark::State& state)
+{
+  std::size_t const ops = 50'000;
+  for (auto _ : state) {
+    double const secs = spmd_seconds(ops, [](p_array<long>& pa,
+                                             std::size_t n) {
+      gid1d const base = 1'000 * this_location();
+      for (std::size_t i = 0; i < n; ++i)
+        pa.set_element(base + i % 1'000, 1);
+    });
+    state.SetIterationTime(secs / static_cast<double>(ops));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LocalSetElement)->UseManualTime()->Iterations(3);
+
+void BM_RemoteAsyncSetElement(benchmark::State& state)
+{
+  std::size_t const ops = 50'000;
+  for (auto _ : state) {
+    double const secs = spmd_seconds(ops, [](p_array<long>& pa,
+                                             std::size_t n) {
+      gid1d const base = 1'000 * ((this_location() + 1) % num_locations());
+      for (std::size_t i = 0; i < n; ++i)
+        pa.set_element(base + i % 1'000, 1);
+    });
+    state.SetIterationTime(secs / static_cast<double>(ops));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RemoteAsyncSetElement)->UseManualTime()->Iterations(3);
+
+void BM_RemoteSyncGetElement(benchmark::State& state)
+{
+  std::size_t const ops = 2'000;
+  for (auto _ : state) {
+    double const secs = spmd_seconds(ops, [](p_array<long>& pa,
+                                             std::size_t n) {
+      gid1d const base = 1'000 * ((this_location() + 1) % num_locations());
+      long sink = 0;
+      for (std::size_t i = 0; i < n; ++i)
+        sink += pa.get_element(base + i % 1'000);
+      benchmark::DoNotOptimize(sink);
+    });
+    state.SetIterationTime(secs / static_cast<double>(ops));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RemoteSyncGetElement)->UseManualTime()->Iterations(3);
+
+void BM_RmiFence(benchmark::State& state)
+{
+  std::size_t const ops = 500;
+  for (auto _ : state) {
+    double const secs =
+        spmd_seconds(ops, [](p_array<long>&, std::size_t n) {
+          for (std::size_t i = 0; i < n; ++i)
+            rmi_fence();
+        });
+    state.SetIterationTime(secs / static_cast<double>(ops));
+  }
+}
+BENCHMARK(BM_RmiFence)->UseManualTime()->Iterations(3);
+
+void BM_SerializationPackUnpack(benchmark::State& state)
+{
+  std::vector<std::pair<std::size_t, double>> payload(
+      static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = {i, i * 0.5};
+  for (auto _ : state) {
+    auto bytes = pack(payload);
+    auto copy = unpack<std::vector<std::pair<std::size_t, double>>>(bytes);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(payload.size() * sizeof(payload[0])));
+}
+BENCHMARK(BM_SerializationPackUnpack)->Arg(1'000)->Arg(100'000);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// MapReduce word count (Ch. XII.C.1, Fig. 59): counts word occurrences
+// across a distributed corpus into a pHashMap.
+//
+// Run: ./wordcount [num_locations]
+
+#include "algorithms/map_reduce.hpp"
+#include "containers/p_array.hpp"
+#include "views/views.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv)
+{
+  unsigned const p = argc > 1 ? std::atoi(argv[1]) : 4;
+
+  stapl::execute(p, [] {
+    using namespace stapl;
+
+    std::vector<std::string> const docs{
+        "to be or not to be",
+        "that is the question",
+        "whether tis nobler in the mind to suffer",
+        "the slings and arrows of outrageous fortune",
+        "or to take arms against a sea of troubles",
+        "and by opposing end them"};
+
+    p_array<std::string> corpus(docs.size());
+    if (this_location() == 0)
+      for (gid1d i = 0; i < docs.size(); ++i)
+        corpus.set_element(i, docs[i]);
+    rmi_fence();
+
+    p_hash_map<std::string, long> counts;
+    word_count(array_1d_view(corpus), counts);
+
+    if (this_location() == 0) {
+      std::printf("distinct words: %zu\n", counts.size());
+      for (auto const* w : {"the", "to", "be", "or", "question"})
+        std::printf("  %-10s %ld\n", w, counts.find_val(w).first);
+    }
+    rmi_fence();
+  });
+  return 0;
+}

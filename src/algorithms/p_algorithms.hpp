@@ -1,0 +1,320 @@
+#ifndef STAPL_ALGORITHMS_P_ALGORITHMS_HPP
+#define STAPL_ALGORITHMS_P_ALGORITHMS_HPP
+
+// Generic pAlgorithms (dissertation Ch. III, VIII.C).
+//
+// pAlgorithms are SPMD collectives written against the view concept of
+// views.hpp: every location processes the bView assigned to it (its
+// `local_gids`), taking the direct-reference fast path when the element is
+// local (native/aligned views) and the shared-object read/write path
+// otherwise.  Every algorithm ends with an rmi_fence and the views'
+// post_execute hook, implementing the automatic synchronization-point
+// insertion of Ch. VII.H.
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "../runtime/runtime.hpp"
+#include "../views/views.hpp"
+
+namespace stapl {
+
+namespace algo_detail {
+
+template <typename View, typename G>
+concept writable_view = requires(View v, G g, typename View::value_type x) {
+  v.write(g, x);
+};
+
+/// Applies f(value&) to the element behind gid, using the direct reference
+/// when local and read-modify-write otherwise.
+template <typename View, typename F>
+void apply_element(View& v, typename View::gid_type g, F& f)
+{
+  if constexpr (view_detail::has_local_ref<View>) {
+    if (auto* p = v.try_local_ref(g)) {
+      f(*p);
+      return;
+    }
+  }
+  auto x = v.read(g);
+  f(x);
+  if constexpr (writable_view<View, typename View::gid_type>)
+    v.write(g, std::move(x));
+}
+
+/// Folds all locations' optional partial results in location order.
+template <typename T, typename Op>
+[[nodiscard]] std::optional<T> combine_partials(std::optional<T> const& local,
+                                                Op op)
+{
+  auto const partials = allgather(std::pair<T, bool>(
+      local.value_or(T{}), local.has_value()));
+  std::optional<T> out;
+  for (auto const& [value, present] : partials) {
+    if (!present)
+      continue;
+    out = out ? op(*out, value) : value;
+  }
+  return out;
+}
+
+} // namespace algo_detail
+
+// ---------------------------------------------------------------------------
+// Mutating map patterns
+// ---------------------------------------------------------------------------
+
+/// Applies `wf` to every element of the view.  Collective.
+template <typename View, typename WF>
+void p_for_each(View v, WF wf)
+{
+  for (auto g : v.local_gids())
+    algo_detail::apply_element(v, g, wf);
+  rmi_fence();
+  v.post_execute();
+}
+
+/// Applies `wf(gid, element&)` to every element.  Collective.
+template <typename View, typename WF>
+void p_for_each_gid(View v, WF wf)
+{
+  for (auto g : v.local_gids()) {
+    auto f = [&](auto& x) { wf(g, x); };
+    algo_detail::apply_element(v, g, f);
+  }
+  rmi_fence();
+  v.post_execute();
+}
+
+/// Assigns `gen()` to every element.  Collective.
+template <typename View, typename Generator>
+void p_generate(View v, Generator gen)
+{
+  p_for_each(std::move(v), [gen = std::move(gen)](auto& x) mutable {
+    x = gen();
+  });
+}
+
+/// Fills every element with `value`.  Collective.
+template <typename View, typename T>
+void p_fill(View v, T value)
+{
+  p_for_each(std::move(v), [value](auto& x) { x = value; });
+}
+
+/// out[g] = op(in[g]) for every g; distributions should be aligned for
+/// performance.  Collective.
+template <typename InView, typename OutView, typename Op>
+void p_transform(InView in, OutView out, Op op)
+{
+  assert(in.size() == out.size());
+  for (auto g : in.local_gids())
+    out.write(g, op(in.read(g)));
+  rmi_fence();
+  out.post_execute();
+}
+
+/// Copies in to out element-wise.  Collective.
+template <typename InView, typename OutView>
+void p_copy(InView in, OutView out)
+{
+  p_transform(std::move(in), std::move(out),
+              [](auto const& x) { return x; });
+}
+
+// ---------------------------------------------------------------------------
+// Reductions (map_reduce pattern, Ch. VIII.C)
+// ---------------------------------------------------------------------------
+
+/// Generic map-reduce over a view: reduces map(element) over all elements.
+/// Returns nullopt for empty views.  Collective.
+template <typename View, typename Map, typename Reduce>
+[[nodiscard]] auto map_reduce(View v, Map mapf, Reduce redf)
+    -> std::optional<decltype(mapf(v.read(typename View::gid_type{})))>
+{
+  using T = decltype(mapf(v.read(typename View::gid_type{})));
+  std::optional<T> local;
+  for (auto g : v.local_gids()) {
+    T mapped = mapf(v.read(g));
+    local = local ? redf(*local, std::move(mapped)) : std::move(mapped);
+  }
+  return algo_detail::combine_partials(local, redf);
+}
+
+/// Sum (or op-fold) of all elements plus init.  Collective.
+template <typename View, typename T, typename Op = std::plus<>>
+[[nodiscard]] T p_accumulate(View v, T init, Op op = {})
+{
+  auto total = map_reduce(std::move(v), [](auto const& x) { return T(x); }, op);
+  return total ? op(init, *total) : init;
+}
+
+/// Number of elements equal to `value`.  Collective.
+template <typename View, typename T>
+[[nodiscard]] std::size_t p_count(View v, T const& value)
+{
+  auto n = map_reduce(std::move(v),
+                      [value](auto const& x) {
+                        return static_cast<std::size_t>(x == value);
+                      },
+                      std::plus<>{});
+  return n.value_or(0);
+}
+
+/// Number of elements satisfying `pred`.  Collective.
+template <typename View, typename Pred>
+[[nodiscard]] std::size_t p_count_if(View v, Pred pred)
+{
+  auto n = map_reduce(std::move(v),
+                      [pred](auto const& x) {
+                        return static_cast<std::size_t>(pred(x));
+                      },
+                      std::plus<>{});
+  return n.value_or(0);
+}
+
+/// GID of the first element (in domain order) satisfying `pred`, or
+/// invalid_gid.  Collective.
+template <typename View, typename Pred>
+[[nodiscard]] gid1d p_find_if(View v, Pred pred)
+{
+  gid1d local = invalid_gid;
+  for (auto g : v.local_gids())
+    if (pred(v.read(g))) {
+      local = std::min(local, static_cast<gid1d>(g));
+    }
+  return allreduce(local, [](gid1d a, gid1d b) { return std::min(a, b); });
+}
+
+template <typename View, typename T>
+[[nodiscard]] gid1d p_find(View v, T const& value)
+{
+  return p_find_if(std::move(v),
+                   [value](auto const& x) { return x == value; });
+}
+
+/// (gid, value) of the minimum element; nullopt when empty.  Collective.
+template <typename View, typename Compare = std::less<>>
+[[nodiscard]] auto p_min_element(View v, Compare cmp = {})
+    -> std::optional<std::pair<typename View::gid_type,
+                               typename View::value_type>>
+{
+  using P = std::pair<typename View::gid_type, typename View::value_type>;
+  std::optional<P> local;
+  for (auto g : v.local_gids()) {
+    auto x = v.read(g);
+    if (!local || cmp(x, local->second) ||
+        (!cmp(local->second, x) && g < local->first))
+      local = P(g, std::move(x));
+  }
+  return algo_detail::combine_partials(
+      local, [&cmp](P const& a, P const& b) {
+        if (cmp(b.second, a.second))
+          return b;
+        if (cmp(a.second, b.second))
+          return a;
+        return a.first <= b.first ? a : b;
+      });
+}
+
+template <typename View, typename Compare = std::less<>>
+[[nodiscard]] auto p_max_element(View v, Compare cmp = {})
+{
+  return p_min_element(std::move(v), [cmp](auto const& a, auto const& b) {
+    return cmp(b, a);
+  });
+}
+
+/// Inner product of two equally-sized views plus init.  Collective.
+template <typename V1, typename V2, typename T>
+[[nodiscard]] T p_inner_product(V1 a, V2 b, T init)
+{
+  assert(a.size() == b.size());
+  T local{};
+  bool any = false;
+  for (auto g : a.local_gids()) {
+    local = local + T(a.read(g)) * T(b.read(g));
+    any = true;
+  }
+  auto total = algo_detail::combine_partials(
+      any ? std::optional<T>(local) : std::nullopt, std::plus<>{});
+  return total ? init + *total : init;
+}
+
+// ---------------------------------------------------------------------------
+// Prefix sums (Ch. III: "pAlgorithms for important parallel techniques")
+// ---------------------------------------------------------------------------
+
+/// Inclusive prefix sum over a contiguously partitioned indexed container:
+/// out[i] = op(in[0], ..., in[i]).  Three phases: local bContainer scans, an
+/// exclusive scan of block sums across bCIDs, then a local rescan.
+/// Requires in/out aligned and contiguous sub-domains.  Collective.
+template <typename InC, typename OutC, typename Op = std::plus<>>
+void p_partial_sum(InC& in, OutC& out, Op op = {})
+{
+  using T = typename InC::value_type;
+  assert(in.size() == out.size());
+
+  auto const& part = in.partition();
+  std::size_t const nparts = part.size();
+
+  // Per-bCID local sums (only ours are meaningful).
+  std::vector<T> block_sum(nparts, T{});
+  for (auto& [bcid, bcptr] : in.get_location_manager()) {
+    T s{};
+    for (std::size_t i = 0; i != bcptr->size(); ++i)
+      s = i == 0 ? bcptr->at(0) : op(s, bcptr->at(i));
+    block_sum[bcid] = s;
+  }
+  // Everyone learns every block's sum (small: one entry per bContainer);
+  // the authoritative value for bCID b comes from the location owning b.
+  auto const all = allgather(block_sum);
+  std::vector<T> sums(nparts, T{});
+  for (std::size_t b = 0; b != nparts; ++b)
+    sums[b] = all[in.mapper().map(b)][b];
+
+  // Exclusive prefix over ordered bCIDs.
+  std::vector<T> offset(nparts, T{});
+  for (std::size_t b = 1; b != nparts; ++b)
+    offset[b] = b == 1 ? sums[0] : op(offset[b - 1], sums[b - 1]);
+
+  // Local rescan writing the output.
+  for (auto& [bcid, bcptr] : in.get_location_manager()) {
+    T run = offset[bcid];
+    for (std::size_t i = 0; i != bcptr->size(); ++i) {
+      run = (bcid == 0 && i == 0) ? bcptr->at(0)
+            : i == 0              ? op(run, bcptr->at(0))
+                                  : op(run, bcptr->at(i));
+      out.bc(bcid).set(i, run);
+    }
+  }
+  rmi_fence();
+}
+
+/// out[i] = in[i] - in[i-1] (out[0] = in[0]): implemented with the overlap
+/// view pattern of Fig. 2.  Collective.
+template <typename InC, typename OutC, typename Op = std::minus<>>
+void p_adjacent_difference(InC& in, OutC& out, Op op = {})
+{
+  using T = typename InC::value_type;
+  assert(in.size() == out.size());
+  array_1d_view iv(in);
+  for (auto g : iv.local_gids()) {
+    T const here = iv.read(g);
+    if (g == 0)
+      out.set_element(0, here);
+    else
+      out.set_element(g, op(here, iv.read(g - 1)));
+  }
+  rmi_fence();
+}
+
+} // namespace stapl
+
+#endif

@@ -1,0 +1,526 @@
+#ifndef STAPL_CORE_CONTAINER_BASE_HPP
+#define STAPL_CORE_CONTAINER_BASE_HPP
+
+// The pContainer base hierarchy and the shared-object-view machinery
+// (dissertation Ch. V, Figs. 7/8/17, Tables XI-XIV).
+//
+// Every stapl pContainer derives (through CRTP chains mirroring the PCF
+// taxonomy of Fig. 5) from p_container_base, which owns the location
+// manager, the data-distribution information (partition + partition mapper)
+// and the thread-safety manager, and implements the generic `invoke` method
+// skeleton: resolve the GID to a (bCID, location); execute locally under the
+// thread-safety hooks, forward to the owner location, or — when resolution
+// is incomplete — migrate the request toward a location that knows more
+// (method forwarding).
+
+#include <cassert>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "../runtime/runtime.hpp"
+#include "location_manager.hpp"
+#include "mappers.hpp"
+#include "partitions.hpp"
+#include "thread_safety.hpp"
+
+namespace stapl {
+
+/// Result of pContainer address resolution (Fig. 7).  When `resolved` the
+/// pair (bcid, loc) is final; otherwise `loc` is a location that may know
+/// more about the GID's mapping (forwarding target).
+struct resolution {
+  bcid_type bcid = invalid_bcid;
+  location_id loc = invalid_location;
+  bool resolved = false;
+
+  [[nodiscard]] static resolution at(bcid_type b, location_id l) noexcept
+  {
+    return {b, l, true};
+  }
+  [[nodiscard]] static resolution forward_to(location_id l) noexcept
+  {
+    return {invalid_bcid, l, false};
+  }
+};
+
+namespace detail {
+
+/// Bundles the user-facing template arguments (T, Partition, Traits) into the
+/// single traits pack consumed by the p_container_base chain.
+template <typename T, typename Partition, typename Traits>
+struct indexed_traits_bundle {
+  using value_type = T;
+  using partition_type = Partition;
+  using mapper_type = typename Traits::mapper_type;
+  using bcontainer_type = typename Traits::bcontainer_type;
+  using ths_manager_type = typename Traits::ths_manager_type;
+};
+
+} // namespace detail
+
+// ---------------------------------------------------------------------------
+// p_container_base (Table XI)
+// ---------------------------------------------------------------------------
+
+template <typename Derived, typename Traits>
+class p_container_base : public p_object {
+ public:
+  using traits_type = Traits;
+  using value_type = typename Traits::value_type;
+  using partition_type = typename Traits::partition_type;
+  using mapper_type = typename Traits::mapper_type;
+  using bcontainer_type = typename Traits::bcontainer_type;
+  using ths_manager_type = typename Traits::ths_manager_type;
+  using gid_type = typename partition_type::gid_type;
+  using location_manager_type = location_manager<bcontainer_type>;
+
+  [[nodiscard]] partition_type const& partition() const noexcept
+  {
+    return m_partition;
+  }
+  [[nodiscard]] partition_type& partition() noexcept { return m_partition; }
+  [[nodiscard]] mapper_type const& mapper() const noexcept { return m_mapper; }
+  [[nodiscard]] mapper_type& mapper() noexcept { return m_mapper; }
+  [[nodiscard]] location_manager_type& get_location_manager() noexcept
+  {
+    return m_lm;
+  }
+  [[nodiscard]] location_manager_type const& get_location_manager()
+      const noexcept
+  {
+    return m_lm;
+  }
+  [[nodiscard]] locking_policy_table& policies() noexcept { return m_policies; }
+
+  /// Default address resolution: closed-form partition query followed by the
+  /// partition mapper (static distributions).  Dynamic containers override.
+  [[nodiscard]] resolution resolve(gid_type const& g) const
+  {
+    bcid_type const b = m_partition.get_info(g);
+    return resolution::at(b, m_mapper.map(b));
+  }
+
+  /// True when the element lives in a local bContainer.
+  [[nodiscard]] bool is_local(gid_type const& g) const
+  {
+    auto const r = derived().resolve(g);
+    return r.resolved && r.loc == get_location_id();
+  }
+
+  /// Location that owns (or may know more about) the GID.
+  [[nodiscard]] location_id lookup(gid_type const& g) const
+  {
+    return derived().resolve(g).loc;
+  }
+
+  /// Local bContainer shortcut.
+  [[nodiscard]] bcontainer_type& bc(bcid_type b)
+  {
+    return m_lm.get_bcontainer(b);
+  }
+  [[nodiscard]] bcontainer_type const& bc(bcid_type b) const
+  {
+    return m_lm.get_bcontainer(b);
+  }
+
+  // -------------------------------------------------------------------------
+  // Generic method execution (Fig. 8 / Fig. 17).  Framework interface: used
+  // by derived containers to implement their element-wise methods.
+  // -------------------------------------------------------------------------
+
+  /// Asynchronous execution: route `action(container, bcid)` to the owner of
+  /// `gid` and run it under the thread-safety hooks.  Returns immediately.
+  template <typename Action>
+  void invoke(std::size_t method, gid_type gid, Action action)
+  {
+    ths_info ti{method, invalid_bcid};
+    m_ths.metadata_access_pre(ti);
+    auto const info = derived().resolve(gid);
+    m_ths.metadata_access_post(ti);
+
+    if (info.resolved && info.loc == get_location_id()) {
+      note_local_invocation();
+      ti.bcid = info.bcid;
+      m_ths.data_access_pre(ti);
+      action(derived(), info.bcid);
+      m_ths.data_access_post(ti);
+      return;
+    }
+    if (!info.resolved && info.loc == get_location_id()) {
+      // Resolution metadata not here yet (directory registration in
+      // flight): park the request behind pending traffic and retry.
+      Derived* self = &derived();
+      post_to_self([self, method, gid, action = std::move(action)]() mutable {
+        self->invoke(method, gid, std::move(action));
+      });
+      return;
+    }
+    // Forward (computation migration) and re-evaluate on the target.
+    async_rmi<Derived>(info.loc, this->get_handle(),
+                       [method, gid, action](Derived& c) mutable {
+                         c.invoke(method, gid, std::move(action));
+                       });
+  }
+
+  /// Split-phase execution: returns a future for `action`'s result; the
+  /// request migrates through forwarding hops and fulfils the future at the
+  /// owner (Ch. VII.F "split phase reads").
+  template <typename Action>
+  [[nodiscard]] auto invoke_split(std::size_t method, gid_type gid,
+                                  Action action)
+  {
+    using result_type =
+        std::invoke_result_t<Action&, Derived&, bcid_type>;
+    auto st = std::make_shared<typename pc_future<result_type>::state>();
+    route_with_result<result_type>(method, gid, std::move(action), st);
+    return pc_future<result_type>(st);
+  }
+
+  /// Synchronous execution: blocks until the result is available
+  /// (Ch. VII.F "synchronous reads").  Local accesses take a direct path
+  /// without future allocation.
+  template <typename Action>
+  [[nodiscard]] auto invoke_ret(std::size_t method, gid_type gid,
+                                Action action)
+  {
+    ths_info ti{method, invalid_bcid};
+    m_ths.metadata_access_pre(ti);
+    auto const info = derived().resolve(gid);
+    m_ths.metadata_access_post(ti);
+
+    if (info.resolved && info.loc == get_location_id()) {
+      note_local_invocation();
+      ti.bcid = info.bcid;
+      m_ths.data_access_pre(ti);
+      auto result = action(derived(), info.bcid);
+      m_ths.data_access_post(ti);
+      return result;
+    }
+    return invoke_split(method, gid, std::move(action)).get();
+  }
+
+  /// Framework-internal: executes locally or migrates, carrying the shared
+  /// response state.  Public because forwarded re-invocations re-enter it on
+  /// other representatives.
+  template <typename R, typename Action>
+  void route_with_result(std::size_t method, gid_type gid, Action action,
+                         std::shared_ptr<typename pc_future<R>::state> st)
+  {
+    ths_info ti{method, invalid_bcid};
+    m_ths.metadata_access_pre(ti);
+    auto const info = derived().resolve(gid);
+    m_ths.metadata_access_post(ti);
+
+    if (info.resolved && info.loc == get_location_id()) {
+      ti.bcid = info.bcid;
+      m_ths.data_access_pre(ti);
+      st->value.emplace(action(derived(), info.bcid));
+      m_ths.data_access_post(ti);
+      st->ready.store(true, std::memory_order_release);
+      return;
+    }
+    if (!info.resolved && info.loc == get_location_id()) {
+      Derived* self = &derived();
+      post_to_self(
+          [self, method, gid, action = std::move(action), st]() mutable {
+            self->template route_with_result<R>(method, gid,
+                                                std::move(action), st);
+          });
+      return;
+    }
+    async_rmi<Derived>(info.loc, this->get_handle(),
+                       [method, gid, action = std::move(action),
+                        st](Derived& c) mutable {
+                         c.template route_with_result<R>(method, gid,
+                                                         std::move(action), st);
+                       });
+  }
+
+  /// Runs `f(container)` on every location of the container (one-sided
+  /// broadcast of work); completion at the next fence.
+  template <typename F>
+  void for_all_locations(F f)
+  {
+    for (location_id l = 0; l < num_locations(); ++l) {
+      if (l == get_location_id())
+        f(derived());
+      else
+        async_rmi<Derived>(l, this->get_handle(), f);
+    }
+  }
+
+  /// Memory footprint of the local representative: (metadata, data) bytes
+  /// (Ch. IX.F memory study).
+  [[nodiscard]] memory_report memory_size() const
+  {
+    auto r = m_lm.memory_size();
+    r.first += sizeof(Derived) + m_ths.memory_size();
+    return r;
+  }
+
+  /// Aggregated (metadata, data) over all locations.  Collective.
+  [[nodiscard]] memory_report global_memory_size() const
+  {
+    auto const local = memory_size();
+    auto const meta = allreduce(local.first, std::plus<>{});
+    auto const data = allreduce(local.second, std::plus<>{});
+    return {meta, data};
+  }
+
+ protected:
+  [[nodiscard]] Derived& derived() noexcept
+  {
+    return static_cast<Derived&>(*this);
+  }
+  [[nodiscard]] Derived const& derived() const noexcept
+  {
+    return static_cast<Derived const&>(*this);
+  }
+
+  partition_type m_partition;
+  mapper_type m_mapper;
+  location_manager_type m_lm;
+  locking_policy_table m_policies;
+  ths_manager_type m_ths{&m_policies};
+};
+
+// ---------------------------------------------------------------------------
+// p_container_static (Table XII)
+// ---------------------------------------------------------------------------
+
+template <typename Derived, typename Traits>
+class p_container_static : public p_container_base<Derived, Traits> {
+  using base = p_container_base<Derived, Traits>;
+
+ public:
+  using typename base::gid_type;
+
+  /// Number of elements in local bContainers.
+  [[nodiscard]] std::size_t local_size() const
+  {
+    return this->m_lm.local_size();
+  }
+  [[nodiscard]] bool local_empty() const { return local_size() == 0; }
+
+  /// Global size: closed form from the partition's domain (static
+  /// containers never change size).
+  [[nodiscard]] std::size_t size() const
+  {
+    return this->m_partition.domain().size();
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+};
+
+// ---------------------------------------------------------------------------
+// p_container_dynamic (Table XIII)
+// ---------------------------------------------------------------------------
+
+template <typename Derived, typename Traits>
+class p_container_dynamic : public p_container_base<Derived, Traits> {
+  using base = p_container_base<Derived, Traits>;
+
+ public:
+  [[nodiscard]] std::size_t local_size() const
+  {
+    return this->m_lm.local_size();
+  }
+  [[nodiscard]] bool local_empty() const { return local_size() == 0; }
+
+  /// Global size.  One-sided: queries every location's local size
+  /// (Ch. VII.G discusses the cost trade-offs; the cached-size variant is
+  /// refreshed by post_execute in the view layer).
+  [[nodiscard]] std::size_t size() const
+  {
+    std::size_t total = 0;
+    for (location_id l = 0; l < num_locations(); ++l) {
+      if (l == this->get_location_id())
+        total += local_size();
+      else
+        total += sync_rmi<Derived>(l, this->get_handle(),
+                                   [](Derived const& c) {
+                                     return c.local_size();
+                                   });
+    }
+    return total;
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Removes all elements on every location.  Collective: the leading fence
+  /// lets in-flight element methods (and one-sided size queries) complete
+  /// before any location starts destroying state.
+  void clear()
+  {
+    rmi_fence();
+    for (auto& [bcid, bcptr] : this->m_lm)
+      bcptr->clear();
+    rmi_fence();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Element proxy (shared-object operator[] support)
+// ---------------------------------------------------------------------------
+
+/// Reference-like proxy to a (possibly remote) element: reads resolve via
+/// get_element, writes via set_element.
+template <typename Container>
+class element_proxy {
+ public:
+  using value_type = typename Container::value_type;
+  using gid_type = typename Container::gid_type;
+
+  element_proxy(Container& c, gid_type g) noexcept : m_c(&c), m_gid(g) {}
+
+  operator value_type() const { return m_c->get_element(m_gid); } // NOLINT
+
+  element_proxy& operator=(value_type const& v)
+  {
+    m_c->set_element(m_gid, v);
+    return *this;
+  }
+  element_proxy& operator=(element_proxy const& o)
+  {
+    return *this = static_cast<value_type>(o);
+  }
+
+  [[nodiscard]] value_type value() const { return m_c->get_element(m_gid); }
+  [[nodiscard]] gid_type gid() const noexcept { return m_gid; }
+
+ private:
+  Container* m_c;
+  gid_type m_gid;
+};
+
+// ---------------------------------------------------------------------------
+// p_container_indexed (Table XIV)
+// ---------------------------------------------------------------------------
+
+/// Indexed interface over any container whose partition provides
+/// local_index(gid): set/get/split-phase element access, apply_get/apply_set
+/// and operator[].  Base of pArray, pMatrix and pVector.
+template <typename Derived, typename Traits,
+          template <typename, typename> class SizeBase = p_container_static>
+class p_container_indexed : public SizeBase<Derived, Traits> {
+  using base = SizeBase<Derived, Traits>;
+
+ public:
+  using typename base::gid_type;
+  using typename base::value_type;
+  using reference = element_proxy<Derived>;
+
+  /// Asynchronous write (no return value — Ch. V.B asynchronous methods).
+  void set_element(gid_type gid, value_type val)
+  {
+    this->invoke(MP_SET_ELEMENT, gid,
+                 [gid, val = std::move(val)](Derived& c, bcid_type b) {
+                   c.bc(b).set(c.partition().local_index(gid), val);
+                 });
+  }
+
+  /// Synchronous write: returns only after the write has been applied at the
+  /// owner.  Using only synchronous methods restores sequential consistency
+  /// (Ch. VII.E Claim 3).
+  void set_element_sync(gid_type gid, value_type val)
+  {
+    (void)this->invoke_ret(MP_SET_ELEMENT, gid,
+                           [gid, val = std::move(val)](Derived& c,
+                                                       bcid_type b) {
+                             c.bc(b).set(c.partition().local_index(gid), val);
+                             return true;
+                           });
+  }
+
+  /// Synchronous read.
+  [[nodiscard]] value_type get_element(gid_type gid)
+  {
+    return this->invoke_ret(MP_GET_ELEMENT, gid,
+                            [gid](Derived& c, bcid_type b) {
+                              return c.bc(b).at(c.partition().local_index(gid));
+                            });
+  }
+
+  /// Split-phase read: returns a future immediately (Ch. V.B).
+  [[nodiscard]] pc_future<value_type> split_phase_get_element(gid_type gid)
+  {
+    return this->invoke_split(MP_GET_ELEMENT, gid,
+                              [gid](Derived& c, bcid_type b) {
+                                return c.bc(b).at(
+                                    c.partition().local_index(gid));
+                              });
+  }
+
+  /// Applies functor `f` to the element; returns f's result (synchronous).
+  template <typename F>
+  [[nodiscard]] auto apply_get(gid_type gid, F f)
+  {
+    return this->invoke_ret(MP_APPLY, gid,
+                            [gid, f = std::move(f)](Derived& c,
+                                                    bcid_type b) mutable {
+                              return f(c.bc(b).at(
+                                  c.partition().local_index(gid)));
+                            });
+  }
+
+  /// Applies functor `f` to the element asynchronously (no return).
+  template <typename F>
+  void apply_set(gid_type gid, F f)
+  {
+    this->invoke(MP_APPLY, gid,
+                 [gid, f = std::move(f)](Derived& c, bcid_type b) mutable {
+                   f(c.bc(b).at(c.partition().local_index(gid)));
+                 });
+  }
+
+  [[nodiscard]] reference operator[](gid_type gid)
+  {
+    return reference(this->derived(), gid);
+  }
+
+  /// Direct reference to a *local* element (native-view fast path).
+  [[nodiscard]] value_type& local_element(gid_type gid)
+  {
+    auto const r = this->derived().resolve(gid);
+    assert(r.resolved && r.loc == this->get_location_id());
+    return this->bc(r.bcid).at(this->partition().local_index(gid));
+  }
+
+  /// Pointer to a local element, or nullptr when the element is remote
+  /// (lets views/algorithms take the direct path when possible).
+  [[nodiscard]] value_type* local_element_ptr(gid_type gid)
+  {
+    auto const r = this->derived().resolve(gid);
+    if (!r.resolved || r.loc != this->get_location_id())
+      return nullptr;
+    return &this->bc(r.bcid).at(this->partition().local_index(gid));
+  }
+
+  /// Applies `f(gid, element&)` to every element stored on this location,
+  /// bContainer by bContainer in partition order (the native traversal).
+  template <typename F>
+  void for_each_local(F&& f)
+  {
+    for (auto& [bcid, bcptr] : this->m_lm) {
+      std::size_t const n = bcptr->size();
+      for (std::size_t i = 0; i != n; ++i)
+        f(this->partition().gid_of(bcid, i), bcptr->at(i));
+    }
+  }
+
+  /// GIDs of all locally stored elements, in partition order.
+  [[nodiscard]] std::vector<gid_type> local_gids() const
+  {
+    std::vector<gid_type> out;
+    out.reserve(this->m_lm.local_size());
+    for (auto const& [bcid, bcptr] : this->m_lm) {
+      std::size_t const n = bcptr->size();
+      for (std::size_t i = 0; i != n; ++i)
+        out.push_back(this->partition().gid_of(bcid, i));
+    }
+    return out;
+  }
+};
+
+} // namespace stapl
+
+#endif

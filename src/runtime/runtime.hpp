@@ -1,0 +1,798 @@
+#ifndef STAPL_RUNTIME_RUNTIME_HPP
+#define STAPL_RUNTIME_RUNTIME_HPP
+
+// The stapl run-time system (RTS) work-alike (dissertation Ch. III.B).
+//
+// The RTS provides *locations* as an abstraction of processing elements.  In
+// this reproduction a location is backed by a std::thread inside one process;
+// different locations communicate exclusively through the RMI primitives
+// below (ARMI work-alike).  Two transports are available:
+//
+//   * transport_kind::queue  — message passing through per-location FIFO
+//     inboxes.  Models a distributed-memory machine: per-(source,destination)
+//     in-order delivery, completion at fences, polling progress.
+//   * transport_kind::direct — locked direct execution on the destination
+//     representative from the calling thread.  Models ARMI's shared-memory
+//     transport and makes the Ch. VI thread-safety machinery load-bearing.
+//
+// The guarantees relied upon by the memory-consistency model of Ch. VII are
+// provided here: requests from location A to location B execute in invocation
+// order, rmi_fence() returns only when no pending RMI exists in the system
+// (distributed termination detection), and sync/split-phase acknowledgment
+// semantics follow Ch. VII.B.
+
+#include "types.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace stapl {
+
+/// Configuration of one SPMD execution (see `execute`).
+struct runtime_config {
+  unsigned num_locations = 1;
+  transport_kind transport = transport_kind::queue;
+  /// Number of RMIs aggregated into a single "network" message (Ch. III.B:
+  /// the RTS packs multiple requests to a given location into one message).
+  unsigned aggregation = 16;
+};
+
+/// Per-location communication statistics (performance monitor).
+struct location_stats {
+  std::uint64_t rmis_sent = 0;      ///< RMIs issued to remote locations
+  std::uint64_t rmis_executed = 0;  ///< incoming RMIs executed here
+  std::uint64_t local_rmis = 0;     ///< RMIs resolved locally (inline)
+  std::uint64_t msgs_sent = 0;      ///< aggregated network messages sent
+  std::uint64_t sync_rmis = 0;      ///< synchronous round trips
+  std::uint64_t fences = 0;         ///< rmi_fence invocations
+
+  location_stats& operator+=(location_stats const& o) noexcept
+  {
+    rmis_sent += o.rmis_sent;
+    rmis_executed += o.rmis_executed;
+    local_rmis += o.local_rmis;
+    msgs_sent += o.msgs_sent;
+    sync_rmis += o.sync_rmis;
+    fences += o.fences;
+    return *this;
+  }
+};
+
+namespace runtime_detail {
+
+/// A queued RMI request.  Returns false when the target object has not yet
+/// been registered on this location (SPMD construction skew); the message is
+/// then deferred and retried on the next poll.
+using request = std::function<bool()>;
+
+/// Sense-reversing barrier across all locations of the execution.  `arrive`
+/// and `passed` are split so callers can drive communication progress while
+/// waiting (a blocked sync_rmi peer must be serviced even from a barrier).
+class spmd_barrier {
+ public:
+  explicit spmd_barrier(unsigned n) noexcept : m_n(n) {}
+
+  /// Registers arrival; returns the generation token to wait on.
+  [[nodiscard]] unsigned arrive() noexcept
+  {
+    unsigned const gen = m_generation.load(std::memory_order_acquire);
+    if (m_count.fetch_add(1, std::memory_order_acq_rel) + 1 == m_n) {
+      m_count.store(0, std::memory_order_relaxed);
+      m_generation.fetch_add(1, std::memory_order_release);
+    }
+    return gen;
+  }
+
+  [[nodiscard]] bool passed(unsigned gen) const noexcept
+  {
+    return m_generation.load(std::memory_order_acquire) != gen;
+  }
+
+  void arrive_and_wait() noexcept
+  {
+    unsigned const gen = arrive();
+    for (unsigned spins = 0; !passed(gen); ++spins) {
+      if (spins < 256)
+        std::this_thread::yield();
+      else
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+    }
+  }
+
+ private:
+  unsigned const m_n;
+  std::atomic<unsigned> m_count{0};
+  std::atomic<unsigned> m_generation{0};
+};
+
+/// FIFO inbox of one location.  A single queue per destination preserves
+/// per-source program order (each source enqueues in program order).
+class inbox {
+ public:
+  void push(request r)
+  {
+    std::lock_guard lock(m_mutex);
+    m_queue.push_back(std::move(r));
+  }
+
+  void push_batch(std::vector<request>&& batch)
+  {
+    std::lock_guard lock(m_mutex);
+    for (auto& r : batch)
+      m_queue.push_back(std::move(r));
+  }
+
+  [[nodiscard]] bool pop(request& out)
+  {
+    std::lock_guard lock(m_mutex);
+    if (m_queue.empty())
+      return false;
+    out = std::move(m_queue.front());
+    m_queue.pop_front();
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const
+  {
+    std::lock_guard lock(m_mutex);
+    return m_queue.empty();
+  }
+
+ private:
+  mutable std::mutex m_mutex;
+  std::deque<request> m_queue;
+};
+
+/// Registry of p_object representatives on one location.
+class object_registry {
+ public:
+  void insert(rmi_handle h, void* p)
+  {
+    std::lock_guard lock(m_mutex);
+    m_objects[h] = p;
+  }
+
+  void erase(rmi_handle h)
+  {
+    std::lock_guard lock(m_mutex);
+    m_objects.erase(h);
+  }
+
+  [[nodiscard]] void* lookup(rmi_handle h) const
+  {
+    std::lock_guard lock(m_mutex);
+    auto it = m_objects.find(h);
+    return it == m_objects.end() ? nullptr : it->second;
+  }
+
+ private:
+  mutable std::mutex m_mutex;
+  std::unordered_map<rmi_handle, void*> m_objects;
+};
+
+struct location_state {
+  inbox in;
+  object_registry registry;
+  std::deque<request> deferred; ///< requests whose target is not yet registered
+  std::uint32_t next_collective_counter = 0;
+  std::uint32_t next_local_counter = 0;
+  /// outgoing aggregation buffers, one per destination
+  std::vector<std::vector<request>> agg;
+  location_stats stats;
+  /// scratch slot for collective operations (value exchange protocol)
+  void const* slot = nullptr;
+};
+
+class runtime_impl {
+ public:
+  explicit runtime_impl(runtime_config cfg)
+      : m_cfg(cfg), m_barrier(cfg.num_locations), m_locs(cfg.num_locations)
+  {
+    for (auto& l : m_locs)
+      l = std::make_unique<location_state>();
+    for (auto& l : m_locs)
+      l->agg.resize(cfg.num_locations);
+  }
+
+  [[nodiscard]] runtime_config const& config() const noexcept { return m_cfg; }
+  [[nodiscard]] unsigned num_locations() const noexcept
+  {
+    return m_cfg.num_locations;
+  }
+  [[nodiscard]] location_state& loc(location_id id) noexcept
+  {
+    return *m_locs[id];
+  }
+  [[nodiscard]] spmd_barrier& barrier() noexcept { return m_barrier; }
+
+  std::atomic<std::uint64_t> total_sent{0};
+  std::atomic<std::uint64_t> total_executed{0};
+  /// Number of locations currently inside poll_once; the fence takes its
+  /// termination verdict only when this is zero, so the sent/executed
+  /// counters are frozen while being read.
+  std::atomic<int> active_polls{0};
+
+ private:
+  runtime_config m_cfg;
+  spmd_barrier m_barrier;
+  std::vector<std::unique_ptr<location_state>> m_locs;
+};
+
+// Defined in runtime.cpp.
+extern runtime_impl* g_runtime;
+extern thread_local location_id tl_location;
+
+[[nodiscard]] inline runtime_impl& rt() noexcept
+{
+  assert(g_runtime != nullptr && "stapl API used outside stapl::execute()");
+  return *g_runtime;
+}
+
+} // namespace runtime_detail
+
+// ---------------------------------------------------------------------------
+// SPMD execution
+// ---------------------------------------------------------------------------
+
+/// Runs `spmd` on `cfg.num_locations` locations in SPMD fashion, joining all
+/// of them (and propagating the first exception) before returning.  An
+/// implicit rmi_fence runs after `spmd` completes on every location.
+void execute(runtime_config const& cfg, std::function<void()> spmd);
+
+/// Convenience overload: `p` locations with default configuration.
+void execute(unsigned p, std::function<void()> spmd);
+
+/// Identifier of the calling location.
+[[nodiscard]] inline location_id this_location() noexcept
+{
+  return runtime_detail::tl_location;
+}
+
+/// Number of locations of the current execution.
+[[nodiscard]] inline unsigned num_locations() noexcept
+{
+  return runtime_detail::rt().num_locations();
+}
+
+[[nodiscard]] inline transport_kind current_transport() noexcept
+{
+  return runtime_detail::rt().config().transport;
+}
+
+/// Statistics of the calling location.
+[[nodiscard]] inline location_stats const& my_stats() noexcept
+{
+  return runtime_detail::rt().loc(this_location()).stats;
+}
+
+inline void reset_my_stats() noexcept
+{
+  runtime_detail::rt().loc(this_location()).stats = {};
+}
+
+// ---------------------------------------------------------------------------
+// Progress
+// ---------------------------------------------------------------------------
+
+namespace runtime_detail {
+
+/// Flushes this location's outgoing aggregation buffers.
+inline void flush_aggregation()
+{
+  auto& self = rt().loc(tl_location);
+  for (location_id d = 0; d < rt().num_locations(); ++d) {
+    auto& buf = self.agg[d];
+    if (buf.empty())
+      continue;
+    self.stats.msgs_sent += 1;
+    rt().loc(d).in.push_batch(std::move(buf));
+    buf.clear();
+  }
+}
+
+/// Executes one round of incoming requests; returns true if any executed.
+inline bool poll_once()
+{
+  struct poll_guard {
+    poll_guard() { rt().active_polls.fetch_add(1, std::memory_order_acq_rel); }
+    ~poll_guard() { rt().active_polls.fetch_sub(1, std::memory_order_acq_rel); }
+  } guard;
+
+  auto& self = rt().loc(tl_location);
+  flush_aggregation();
+  bool progressed = false;
+
+  // Retry deferred requests first (in order) to preserve FIFO delivery.
+  if (!self.deferred.empty()) {
+    std::deque<request> still;
+    while (!self.deferred.empty()) {
+      request r = std::move(self.deferred.front());
+      self.deferred.pop_front();
+      if (r()) {
+        progressed = true;
+        self.stats.rmis_executed += 1;
+        rt().total_executed.fetch_add(1, std::memory_order_acq_rel);
+      } else {
+        still.push_back(std::move(r));
+      }
+    }
+    self.deferred = std::move(still);
+  }
+
+  request r;
+  while (self.in.pop(r)) {
+    if (r()) {
+      progressed = true;
+      self.stats.rmis_executed += 1;
+      rt().total_executed.fetch_add(1, std::memory_order_acq_rel);
+    } else {
+      self.deferred.push_back(std::move(r));
+    }
+  }
+  return progressed;
+}
+
+/// Backoff for wait loops.  A brief yield phase keeps latency low when the
+/// peer is already running; after that the waiter sleeps so an oversubscribed
+/// core can schedule the peer immediately instead of burning whole scheduler
+/// quanta in a yield storm.
+class wait_backoff {
+ public:
+  void pause() noexcept
+  {
+    if (m_spins++ < 64) {
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  void reset() noexcept { m_spins = 0; }
+
+ private:
+  unsigned m_spins = 0;
+};
+
+inline void enqueue_remote(location_id dest, request r)
+{
+  auto& self = rt().loc(tl_location);
+  self.stats.rmis_sent += 1;
+  rt().total_sent.fetch_add(1, std::memory_order_acq_rel);
+  auto& buf = self.agg[dest];
+  buf.push_back(std::move(r));
+  if (buf.size() >= rt().config().aggregation) {
+    self.stats.msgs_sent += 1;
+    rt().loc(dest).in.push_batch(std::move(buf));
+    buf.clear();
+  }
+}
+
+/// Looks up a registered object on `loc`, spinning until it appears (bounded
+/// by SPMD program order: the sender can only know the handle after the
+/// owner's construction statement).
+template <typename Obj>
+[[nodiscard]] Obj* lookup_wait(location_id loc, rmi_handle h)
+{
+  for (unsigned spins = 0;; ++spins) {
+    if (void* p = rt().loc(loc).registry.lookup(h))
+      return static_cast<Obj*>(p);
+    if (spins < 64)
+      std::this_thread::yield();
+    else
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+} // namespace runtime_detail
+
+/// Drives communication progress on the calling location.
+inline void rmi_poll()
+{
+  (void)runtime_detail::poll_once();
+}
+
+/// Records a locally resolved container method in the performance-monitor
+/// counters (the invoke skeleton's local fast path bypasses the RMI layer).
+inline void note_local_invocation() noexcept
+{
+  runtime_detail::rt().loc(this_location()).stats.local_rmis += 1;
+}
+
+/// Local representative of a registered p_object (nullptr if none).  Lets
+/// RMI handlers reach sibling objects (e.g. an algorithm's frontier buffer)
+/// through their handles.
+template <typename T>
+[[nodiscard]] T* get_registered_object(rmi_handle h)
+{
+  using namespace runtime_detail;
+  return static_cast<T*>(rt().loc(this_location()).registry.lookup(h));
+}
+
+/// Re-enqueues work into this location's own inbox, to be retried on a later
+/// poll.  Used by method forwarding when resolution metadata has not arrived
+/// yet (e.g. a directory registration still in flight): executing inline
+/// would recurse, so the request is parked behind the pending traffic.
+/// Counts as a pending RMI for fence termination purposes.
+template <typename F>
+void post_to_self(F f)
+{
+  using namespace runtime_detail;
+  auto& self = rt().loc(this_location());
+  self.stats.rmis_sent += 1;
+  rt().total_sent.fetch_add(1, std::memory_order_acq_rel);
+  self.in.push([f = std::move(f)]() mutable -> bool {
+    f();
+    return true;
+  });
+}
+
+namespace runtime_detail {
+
+/// Barrier that keeps servicing incoming RMIs while waiting, so a peer
+/// blocked on a synchronous response from this location cannot deadlock the
+/// collective.
+inline void polling_barrier_wait()
+{
+  auto& b = rt().barrier();
+  unsigned const gen = b.arrive();
+  wait_backoff bo;
+  while (!b.passed(gen)) {
+    if (poll_once())
+      bo.reset();
+    else
+      bo.pause();
+  }
+}
+
+} // namespace runtime_detail
+
+/// Collective synchronization: returns once every location has entered the
+/// fence and no pending RMI remains in the system (termination detection).
+void rmi_fence();
+
+/// Barrier without the termination-detection drain (still polls).
+inline void location_barrier()
+{
+  runtime_detail::polling_barrier_wait();
+}
+
+// ---------------------------------------------------------------------------
+// p_object — the basic shared-object concept (Ch. III.B)
+// ---------------------------------------------------------------------------
+
+/// Tag requesting registration on the constructing location only.
+struct single_location_t {
+  explicit single_location_t() = default;
+};
+inline constexpr single_location_t single_location{};
+
+/// Base class of every parallel object.  The representative of a p_object on
+/// each location registers with the RTS to enable RMIs between the
+/// representatives.  Collective construction (default) must happen in the
+/// same order on all locations, like any SPMD registration scheme.
+class p_object {
+ public:
+  p_object()
+      : m_handle(make_handle(
+            collective_scope,
+            runtime_detail::rt().loc(this_location()).next_collective_counter++)),
+        m_location(this_location()),
+        m_num_locations(num_locations())
+  {
+    runtime_detail::rt().loc(m_location).registry.insert(m_handle, this);
+  }
+
+  explicit p_object(single_location_t)
+      : m_handle(make_handle(
+            this_location(),
+            runtime_detail::rt().loc(this_location()).next_local_counter++)),
+        m_location(this_location()),
+        m_num_locations(1)
+  {
+    runtime_detail::rt().loc(m_location).registry.insert(m_handle, this);
+  }
+
+  p_object(p_object const&) = delete;
+  p_object& operator=(p_object const&) = delete;
+
+  virtual ~p_object()
+  {
+    runtime_detail::rt().loc(m_location).registry.erase(m_handle);
+  }
+
+  [[nodiscard]] rmi_handle get_handle() const noexcept { return m_handle; }
+  [[nodiscard]] location_id get_location_id() const noexcept
+  {
+    return m_location;
+  }
+  [[nodiscard]] unsigned get_num_locations() const noexcept
+  {
+    return m_num_locations;
+  }
+
+ private:
+  rmi_handle m_handle;
+  location_id m_location;
+  unsigned m_num_locations;
+};
+
+// ---------------------------------------------------------------------------
+// Futures (split-phase execution, Ch. V.B / VII.B)
+// ---------------------------------------------------------------------------
+
+/// Future returned by split-phase methods.  `get()` drives communication
+/// progress while waiting, so two locations may wait on each other's
+/// split-phase results without deadlock.
+template <typename R>
+class pc_future {
+ public:
+  struct state {
+    std::atomic<bool> ready{false};
+    std::optional<R> value;
+  };
+
+  pc_future() = default;
+  explicit pc_future(std::shared_ptr<state> s) noexcept : m_state(std::move(s))
+  {}
+
+  [[nodiscard]] bool valid() const noexcept { return m_state != nullptr; }
+
+  [[nodiscard]] bool is_ready() const noexcept
+  {
+    return m_state && m_state->ready.load(std::memory_order_acquire);
+  }
+
+  /// Blocks (polling) until the value arrives; consumes the future.
+  [[nodiscard]] R get()
+  {
+    assert(valid());
+    runtime_detail::wait_backoff bo;
+    while (!m_state->ready.load(std::memory_order_acquire)) {
+      if (runtime_detail::poll_once())
+        bo.reset();
+      else
+        bo.pause();
+    }
+    return std::move(*m_state->value);
+  }
+
+ private:
+  std::shared_ptr<state> m_state;
+};
+
+// ---------------------------------------------------------------------------
+// RMI primitives
+// ---------------------------------------------------------------------------
+
+namespace runtime_detail {
+
+template <typename Obj, typename F, typename Tuple>
+decltype(auto) apply_on(Obj& o, F& f, Tuple& t)
+{
+  return std::apply(
+      [&](auto&... args) -> decltype(auto) { return std::invoke(f, o, args...); },
+      t);
+}
+
+} // namespace runtime_detail
+
+/// Asynchronous RMI: executes `f(obj_at(dest), args...)` on the destination
+/// representative of the object identified by `h`; returns immediately
+/// (Ch. III.B).  Completion is guaranteed by the next rmi_fence, or — for
+/// same-element accesses — by the acknowledgment rules of Ch. VII.B.
+template <typename Obj, typename F, typename... Args>
+void async_rmi(location_id dest, rmi_handle h, F f, Args... args)
+{
+  using namespace runtime_detail;
+  if (dest == this_location()) {
+    auto& self = rt().loc(dest);
+    self.stats.local_rmis += 1;
+    Obj* o = static_cast<Obj*>(self.registry.lookup(h));
+    assert(o != nullptr && "async_rmi: local object not registered");
+    std::invoke(f, *o, std::move(args)...);
+    return;
+  }
+  if (current_transport() == transport_kind::direct) {
+    auto& self = rt().loc(this_location());
+    self.stats.rmis_sent += 1;
+    Obj* o = lookup_wait<Obj>(dest, h);
+    std::invoke(f, *o, std::move(args)...);
+    return;
+  }
+  enqueue_remote(dest,
+                 [dest, h, f = std::move(f),
+                  tup = std::make_tuple(std::move(args)...)]() mutable -> bool {
+                   void* p = rt().loc(dest).registry.lookup(h);
+                   if (p == nullptr)
+                     return false;
+                   apply_on(*static_cast<Obj*>(p), f, tup);
+                   return true;
+                 });
+}
+
+/// Synchronous RMI: executes `f` on the destination representative and
+/// blocks (driving progress) until the result is available.
+template <typename Obj, typename F, typename... Args>
+[[nodiscard]] auto sync_rmi(location_id dest, rmi_handle h, F f, Args... args)
+{
+  using namespace runtime_detail;
+  using R = decltype(std::invoke(f, std::declval<Obj&>(), args...));
+
+  if (dest == this_location()) {
+    auto& self = rt().loc(dest);
+    self.stats.local_rmis += 1;
+    Obj* o = static_cast<Obj*>(self.registry.lookup(h));
+    assert(o != nullptr && "sync_rmi: local object not registered");
+    return std::invoke(f, *o, std::move(args)...);
+  }
+
+  if (current_transport() == transport_kind::direct) {
+    auto& self = rt().loc(this_location());
+    self.stats.rmis_sent += 1;
+    self.stats.sync_rmis += 1;
+    Obj* o = lookup_wait<Obj>(dest, h);
+    return std::invoke(f, *o, std::move(args)...);
+  }
+
+  struct sync_state {
+    std::atomic<bool> done{false};
+    std::optional<R> value;
+  } st;
+
+  rt().loc(this_location()).stats.sync_rmis += 1;
+  enqueue_remote(dest,
+                 [dest, h, &st, f = std::move(f),
+                  tup = std::make_tuple(std::move(args)...)]() mutable -> bool {
+                   void* p = rt().loc(dest).registry.lookup(h);
+                   if (p == nullptr)
+                     return false;
+                   st.value.emplace(apply_on(*static_cast<Obj*>(p), f, tup));
+                   st.done.store(true, std::memory_order_release);
+                   return true;
+                 });
+  runtime_detail::flush_aggregation();
+  runtime_detail::wait_backoff bo;
+  while (!st.done.load(std::memory_order_acquire)) {
+    if (runtime_detail::poll_once())
+      bo.reset();
+    else
+      bo.pause();
+  }
+  return std::move(*st.value);
+}
+
+/// Split-phase RMI (Ch. V.B): returns a future immediately; the invocation
+/// executes asynchronously and fulfils the future.  `future.get()` blocks
+/// until the acknowledgment arrives, at the latest at the next fence.
+template <typename Obj, typename F, typename... Args>
+[[nodiscard]] auto opaque_rmi(location_id dest, rmi_handle h, F f, Args... args)
+{
+  using namespace runtime_detail;
+  using R = decltype(std::invoke(f, std::declval<Obj&>(), args...));
+  auto st = std::make_shared<typename pc_future<R>::state>();
+
+  if (dest == this_location()) {
+    auto& self = rt().loc(dest);
+    self.stats.local_rmis += 1;
+    Obj* o = static_cast<Obj*>(self.registry.lookup(h));
+    assert(o != nullptr && "opaque_rmi: local object not registered");
+    st->value.emplace(std::invoke(f, *o, std::move(args)...));
+    st->ready.store(true, std::memory_order_release);
+    return pc_future<R>(st);
+  }
+
+  if (current_transport() == transport_kind::direct) {
+    auto& self = rt().loc(this_location());
+    self.stats.rmis_sent += 1;
+    Obj* o = lookup_wait<Obj>(dest, h);
+    st->value.emplace(std::invoke(f, *o, std::move(args)...));
+    st->ready.store(true, std::memory_order_release);
+    return pc_future<R>(st);
+  }
+
+  enqueue_remote(dest,
+                 [dest, h, st, f = std::move(f),
+                  tup = std::make_tuple(std::move(args)...)]() mutable -> bool {
+                   void* p = rt().loc(dest).registry.lookup(h);
+                   if (p == nullptr)
+                     return false;
+                   st->value.emplace(apply_on(*static_cast<Obj*>(p), f, tup));
+                   st->ready.store(true, std::memory_order_release);
+                   return true;
+                 });
+  return pc_future<R>(st);
+}
+
+// ---------------------------------------------------------------------------
+// Collective operations (Ch. III.B: broadcast, reduce, fence; plus scans)
+// ---------------------------------------------------------------------------
+
+namespace runtime_detail {
+
+/// Value-exchange protocol: every location publishes a pointer to its local
+/// value, a barrier makes all pointers visible, every location reads what it
+/// needs, and a second barrier releases the slots.
+template <typename T, typename Reader>
+void exchange(T const& mine, Reader reader)
+{
+  auto& self = rt().loc(tl_location);
+  self.slot = &mine;
+  polling_barrier_wait();
+  reader();
+  polling_barrier_wait();
+  self.slot = nullptr;
+}
+
+} // namespace runtime_detail
+
+/// All-reduce over all locations: every location receives op-combined value.
+template <typename T, typename BinaryOp>
+[[nodiscard]] T allreduce(T const& value, BinaryOp op)
+{
+  using namespace runtime_detail;
+  T result = value;
+  exchange(value, [&] {
+    for (location_id l = 0; l < rt().num_locations(); ++l) {
+      if (l == tl_location)
+        continue;
+      result = op(result, *static_cast<T const*>(rt().loc(l).slot));
+    }
+  });
+  return result;
+}
+
+/// Broadcast from `root` to all locations.
+template <typename T>
+[[nodiscard]] T broadcast(location_id root, T const& value)
+{
+  using namespace runtime_detail;
+  T result{};
+  exchange(value, [&] {
+    result = *static_cast<T const*>(rt().loc(root).slot);
+  });
+  return result;
+}
+
+/// Exclusive prefix over location ids: location i receives
+/// op(value_0, ..., value_{i-1}); location 0 receives `identity`.
+template <typename T, typename BinaryOp>
+[[nodiscard]] T exclusive_scan(T const& value, BinaryOp op, T identity)
+{
+  using namespace runtime_detail;
+  T result = identity;
+  exchange(value, [&] {
+    for (location_id l = 0; l < tl_location; ++l)
+      result = op(result, *static_cast<T const*>(rt().loc(l).slot));
+  });
+  return result;
+}
+
+/// Gathers one value per location; every location receives the full vector.
+template <typename T>
+[[nodiscard]] std::vector<T> allgather(T const& value)
+{
+  using namespace runtime_detail;
+  std::vector<T> result(rt().num_locations());
+  exchange(value, [&] {
+    for (location_id l = 0; l < rt().num_locations(); ++l)
+      result[l] = *static_cast<T const*>(rt().loc(l).slot);
+  });
+  return result;
+}
+
+} // namespace stapl
+
+#endif

@@ -1,0 +1,40 @@
+#ifndef STAPL_RUNTIME_TIMER_HPP
+#define STAPL_RUNTIME_TIMER_HPP
+
+#include <chrono>
+
+namespace stapl {
+
+/// Simple wall-clock timer used by the benchmark harness
+/// (start_timer/stop_timer mirror the kernel of Fig. 24).
+class timer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  void start() noexcept { m_start = clock::now(); }
+
+  /// Elapsed seconds since start().
+  [[nodiscard]] double elapsed() const noexcept
+  {
+    return std::chrono::duration<double>(clock::now() - m_start).count();
+  }
+
+ private:
+  clock::time_point m_start{clock::now()};
+};
+
+[[nodiscard]] inline timer start_timer() noexcept
+{
+  timer t;
+  t.start();
+  return t;
+}
+
+[[nodiscard]] inline double stop_timer(timer const& t) noexcept
+{
+  return t.elapsed();
+}
+
+} // namespace stapl
+
+#endif
