@@ -11,7 +11,14 @@
 // locations.
 //
 // STAPL_BENCH_SCALE (env var, default 1) scales workload sizes.
+//
+// Machine-readable output: a bench that calls bench::init(argc, argv)
+// honours a `--json` flag; every table printed through
+// table_header/cell/endrow is then mirrored into BENCH_<name>.json in the
+// working directory, so successive PRs can track the performance
+// trajectory without scraping stdout.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -28,6 +35,116 @@ namespace bench {
   if (char const* s = std::getenv("STAPL_BENCH_SCALE"))
     return std::max(1L, std::atol(s));
   return 1;
+}
+
+// ---------------------------------------------------------------------------
+// JSON mirroring (--json)
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+struct json_state {
+  bool enabled = false;
+  std::string name;
+  std::string title;                           ///< current table
+  std::vector<std::string> columns;            ///< current table columns
+  std::vector<std::vector<std::string>> rows;  ///< values as JSON literals
+  std::vector<std::string> row;                ///< row under construction
+  std::string tables;                          ///< serialized finished tables
+};
+
+[[nodiscard]] inline json_state& jstate()
+{
+  static json_state s;
+  return s;
+}
+
+inline void json_append(std::string v)
+{
+  auto& j = jstate();
+  if (j.enabled)
+    j.row.push_back(std::move(v));
+}
+
+[[nodiscard]] inline std::string json_quote(std::string const& s)
+{
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\')
+      out += '\\';
+    out += c;
+  }
+  return out + "\"";
+}
+
+/// Serializes the current table (if any) onto j.tables.
+inline void json_flush_table()
+{
+  auto& j = jstate();
+  if (!j.enabled || j.title.empty())
+    return;
+  std::string t = "    {\n      \"title\": " + json_quote(j.title) +
+                  ",\n      \"columns\": [";
+  for (std::size_t i = 0; i < j.columns.size(); ++i)
+    t += (i ? ", " : "") + json_quote(j.columns[i]);
+  t += "],\n      \"rows\": [";
+  for (std::size_t r = 0; r < j.rows.size(); ++r) {
+    t += (r ? ", " : "") + std::string("[");
+    for (std::size_t c = 0; c < j.rows[r].size(); ++c)
+      t += (c ? ", " : "") + j.rows[r][c];
+    t += "]";
+  }
+  t += "]\n    }";
+  if (!j.tables.empty())
+    j.tables += ",\n";
+  j.tables += t;
+  j.title.clear();
+  j.columns.clear();
+  j.rows.clear();
+  j.row.clear();
+}
+
+inline void json_write_file()
+{
+  auto& j = jstate();
+  if (!j.enabled)
+    return;
+  json_flush_table();
+  std::string const path = "BENCH_" + j.name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": %s,\n  \"scale\": %zu,\n  \"tables\": [\n%s\n"
+               "  ]\n}\n",
+               json_quote(j.name).c_str(), scale(), j.tables.c_str());
+  std::fclose(f);
+  std::printf("# wrote %s\n", path.c_str());
+}
+
+} // namespace detail
+
+/// Parses bench CLI flags (currently `--json`).  `name` defaults to the
+/// binary's basename with a leading "bench_" stripped.  The JSON file is
+/// written at normal process exit.
+inline void init(int argc, char** argv, std::string name = {})
+{
+  auto& j = detail::jstate();
+  if (name.empty() && argc > 0) {
+    name = argv[0];
+    if (auto const pos = name.find_last_of('/'); pos != std::string::npos)
+      name = name.substr(pos + 1);
+    if (name.rfind("bench_", 0) == 0)
+      name = name.substr(6);
+  }
+  j.name = std::move(name);
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--json")
+      j.enabled = true;
+  if (j.enabled)
+    std::atexit(detail::json_write_file);
 }
 
 /// Runs the Fig. 24 kernel body on every location and returns the maximum
@@ -52,13 +169,48 @@ inline void table_header(std::string const& title,
   for (auto const& c : columns)
     std::printf("%16s", c.c_str());
   std::printf("\n");
+  auto& j = detail::jstate();
+  if (j.enabled) {
+    detail::json_flush_table();
+    j.title = title;
+    j.columns = columns;
+  }
 }
 
-inline void cell(double v) { std::printf("%16.6f", v); }
-inline void cell(std::size_t v) { std::printf("%16zu", v); }
-inline void cell(long v) { std::printf("%16ld", v); }
-inline void cell(std::string const& v) { std::printf("%16s", v.c_str()); }
-inline void endrow() { std::printf("\n"); }
+inline void cell(double v)
+{
+  std::printf("%16.6f", v);
+  if (!std::isfinite(v)) {
+    detail::json_append("null"); // inf/nan are not JSON literals
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  detail::json_append(buf);
+}
+inline void cell(std::size_t v)
+{
+  std::printf("%16zu", v);
+  detail::json_append(std::to_string(v));
+}
+inline void cell(long v)
+{
+  std::printf("%16ld", v);
+  detail::json_append(std::to_string(v));
+}
+inline void cell(std::string const& v)
+{
+  std::printf("%16s", v.c_str());
+  detail::json_append(detail::json_quote(v));
+}
+inline void endrow()
+{
+  std::printf("\n");
+  auto& j = detail::jstate();
+  if (j.enabled && !j.row.empty())
+    j.rows.push_back(std::move(j.row));
+  j.row.clear();
+}
 
 /// Throughput in million operations per second.
 [[nodiscard]] inline double mops(std::size_t ops, double seconds)

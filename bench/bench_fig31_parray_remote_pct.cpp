@@ -7,9 +7,10 @@
 
 #include <atomic>
 
-int main()
+int main(int argc, char** argv)
 {
   using namespace stapl;
+  bench::init(argc, argv);
   std::printf("# Fig. 31 — methods vs %% remote invocations (P=4)\n");
   bench::table_header("remote fraction",
                       {"remote_pct", "set_async", "get_sync"});

@@ -10,6 +10,14 @@
 //   p_array<int> pa(100);                         // balanced partition
 //   p_array<int, blocked_partition> pb(100, blocked_partition(10));
 //   pa.set_element(3, 7);  int v = pa.get_element(3);
+//
+// A pArray resolves GIDs in closed form (partition + mapper).  Calling
+// make_dynamic() switches it to directory-backed resolution
+// (core/directory.hpp), after which individual elements may migrate
+// between locations:
+//   pa.make_dynamic();                            // collective
+//   pa.migrate(3, 1);  rmi_fence();               // element 3 -> location 1
+//   pa.get_element(3);                            // routed via the directory
 
 #include <cstddef>
 #include <utility>

@@ -75,15 +75,20 @@ class p_container_associative : public p_container_dynamic<Derived, Traits> {
   /// Asynchronous erase by key (Table XVI erase_async).
   void erase_async(key_type k)
   {
-    this->invoke(MP_ERASE, k,
-                 [k](Derived& c, bcid_type b) { (void)c.bc(b).erase(k); });
+    this->invoke(MP_ERASE, k, [k](Derived& c, bcid_type b) {
+      if (c.bc(b).erase(k) != 0)
+        c.dyn_forget(k);
+    });
   }
 
   /// Synchronous erase; returns the number of removed elements.
   std::size_t erase(key_type k)
   {
     return this->invoke_ret(MP_ERASE, k, [k](Derived& c, bcid_type b) {
-      return c.bc(b).erase(k);
+      auto const n = c.bc(b).erase(k);
+      if (n != 0)
+        c.dyn_forget(k);
+      return n;
     });
   }
 
@@ -176,11 +181,53 @@ class p_container_associative : public p_container_dynamic<Derived, Traits> {
 
   [[nodiscard]] mapped_type* local_element_ptr(key_type const& k)
   {
+    if (this->is_dynamic()) {
+      typename base::dyn_guard guard(*this); // vs concurrent migrate_out
+      if (!this->get_directory().owns(k))
+        return nullptr;
+      auto& bc = this->bc(this->derived().dyn_local_bcid(k));
+      return bc.contains(k) ? &bc.at(k) : nullptr;
+    }
     auto const r = this->derived().resolve(k);
     if (!r.resolved || r.loc != this->get_location_id())
       return nullptr;
     auto& bc = this->bc(r.bcid);
     return bc.contains(k) ? &bc.at(k) : nullptr;
+  }
+
+  // -------------------------------------------------------------------------
+  // Migration protocol hooks (see core/migration.hpp).  Associative
+  // bContainers are keyed by GID, so migrated-in elements live in a real
+  // local bContainer instead of an overflow store.
+  // -------------------------------------------------------------------------
+
+  /// Removes the element of `k` from local storage and returns its mapped
+  /// value.  Multi containers migrate exactly one occurrence; the rest
+  /// stay behind.
+  [[nodiscard]] mapped_type extract_element(key_type const& k)
+  {
+    bcid_type const b = this->derived().dyn_local_bcid(k);
+    mapped_type v = this->bc(b).extract_one(k);
+    this->m_dyn_index.erase(k);
+    return v;
+  }
+
+  /// Stores a migrated-in element: into the partition-assigned bContainer
+  /// when it is local, else into this location's first bContainer (tracked
+  /// in the dynamic index so local dispatch finds it).
+  void insert_migrated(key_type const& k, mapped_type v)
+  {
+    bcid_type b = this->m_partition.get_info(k);
+    if (this->m_lm.has(b)) {
+      this->m_dyn_index.erase(k);
+    } else {
+      assert(this->m_lm.size() > 0 && "migration target has no bContainer");
+      b = this->m_lm.begin()->first;
+      this->m_dyn_index[k] = b;
+    }
+    // Plain insert: the occurrence was just extracted at the source, and
+    // (unlike get_or_create) it compiles for multi containers too.
+    (void)this->bc(b).insert(k, std::move(v));
   }
 };
 
@@ -212,14 +259,19 @@ class p_container_simple_associative
 
   void erase_async(key_type k)
   {
-    this->invoke(MP_ERASE, k,
-                 [k](Derived& c, bcid_type b) { (void)c.bc(b).erase(k); });
+    this->invoke(MP_ERASE, k, [k](Derived& c, bcid_type b) {
+      if (c.bc(b).erase(k) != 0)
+        c.dyn_forget(k);
+    });
   }
 
   std::size_t erase(key_type k)
   {
     return this->invoke_ret(MP_ERASE, k, [k](Derived& c, bcid_type b) {
-      return c.bc(b).erase(k);
+      auto const n = c.bc(b).erase(k);
+      if (n != 0)
+        c.dyn_forget(k);
+      return n;
     });
   }
 

@@ -116,6 +116,17 @@ class graph_bcontainer {
     m_v.erase(it);
     return true;
   }
+  /// Removes the vertex and returns its record (edge count stays
+  /// consistent — used by the migration protocol).
+  [[nodiscard]] vertex_record extract_vertex(vertex_descriptor v)
+  {
+    auto it = m_v.find(v);
+    assert(it != m_v.end() && "extract_vertex: vertex not here");
+    vertex_record rec = std::move(it->second);
+    m_edges -= rec.edges.size();
+    m_v.erase(it);
+    return rec;
+  }
   [[nodiscard]] bool has_vertex(vertex_descriptor v) const
   {
     return m_v.count(v) != 0;
@@ -419,37 +430,46 @@ class p_graph final
       bcid_type const b = this->m_partition.get_info(v);
       return resolution::at(b, static_cast<location_id>(b));
     }
-    // Owner check first: a forwarded request arriving at the owner must
-    // resolve locally without consulting the directory again.
-    bcid_type const me = this->get_location_id();
-    if (this->m_lm.has(me) && this->bc(me).has_vertex(v))
-      return resolution::at(me, this->get_location_id());
-
-    location_id const home = home_of(v);
-    if (home == this->get_location_id()) {
-      location_id const owner = dir_lookup(v);
-      if (owner != invalid_location)
-        return resolution::at(owner, owner);
-      // Unknown vertex: stay unresolved toward self; invoke() re-enqueues
-      // until the registration (in flight at a fence) arrives.
-      return resolution::forward_to(home);
-    }
-    if (partition_kind() == graph_partition_kind::dynamic_forwarding)
-      return resolution::forward_to(home);
-    // No forwarding: the *requester* synchronously asks the home.
-    auto owner = sync_rmi<p_graph>(
-        home, this->get_handle(),
-        [v](p_graph const& g) -> location_id { return g.dir_lookup(v); });
-    if (owner == invalid_location)
-      return resolution::forward_to(home); // not registered yet: migrate
-    return resolution::at(owner, owner);
+    // Dynamic graphs resolve through the core directory subsystem: local
+    // knowledge first (ownership, home record, owner cache), else the
+    // request is routed toward the home.  Element methods do not reach this
+    // path (invoke() routes through directory::invoke_where); it serves the
+    // view layer's is_local/lookup queries.
+    if (auto const o = this->get_directory().try_resolve(v))
+      return resolution::at(*o, *o); // one bContainer per location: bcid==loc
+    return resolution::forward_to(home_of(v));
   }
 
   /// Home location of a dynamic vertex's directory entry.
   [[nodiscard]] location_id home_of(gid_type v) const noexcept
   {
-    return static_cast<location_id>((v * 0x9E3779B97F4A7C15ull >> 32) %
-                                    num_locations());
+    return this->get_directory().home_of(v);
+  }
+
+  /// Local dispatch for directory-routed methods: all local vertices live
+  /// in this location's single bContainer.
+  [[nodiscard]] bcid_type dyn_local_bcid(gid_type) const noexcept
+  {
+    return this->get_location_id();
+  }
+
+  // -------------------------------------------------------------------------
+  // Migration protocol hooks (see core/migration.hpp): a vertex migrates
+  // with its property and out-edge list; in-edges elsewhere keep their
+  // target descriptor, which stays valid under directory resolution.
+  // -------------------------------------------------------------------------
+
+  [[nodiscard]] vertex_record extract_element(gid_type v)
+  {
+    return this->bc(this->get_location_id()).extract_vertex(v);
+  }
+
+  void insert_migrated(gid_type v, vertex_record rec)
+  {
+    auto& bc = this->bc(this->get_location_id());
+    (void)bc.add_vertex(v, std::move(rec.property));
+    for (auto& e : rec.edges)
+      (void)bc.add_edge(v, e.target, std::move(e.property), true);
   }
 
   // -------------------------------------------------------------------------
@@ -489,16 +509,7 @@ class p_graph final
       this->bc(me).add_vertex(gid, std::move(vp));
       this->m_ths.data_access_post(ti);
     }
-    location_id const home = home_of(gid);
-    location_id const owner = this->get_location_id();
-    if (home == owner) {
-      dir_insert(gid, owner);
-    } else {
-      async_rmi<p_graph>(home, this->get_handle(),
-                         [gid, owner](p_graph& g) {
-                           g.dir_insert(gid, owner);
-                         });
-    }
+    this->get_directory().register_gid(gid);
   }
 
   /// Deletes a vertex (its record and out-edges).  As in the dissertation,
@@ -508,15 +519,7 @@ class p_graph final
   {
     this->invoke(MP_DELETE_VERTEX, v, [v](p_graph& g, bcid_type b) {
       g.bc(b).delete_vertex(v);
-      if (!g.is_static()) {
-        location_id const home = g.home_of(v);
-        if (home == g.get_location_id())
-          g.dir_erase(v);
-        else
-          async_rmi<p_graph>(home, g.get_handle(), [v](p_graph& g2) {
-            g2.dir_erase(v);
-          });
-      }
+      g.dyn_forget(v);
     });
   }
 
@@ -531,13 +534,8 @@ class p_graph final
       });
     }
     // Dynamic: ask the directory home (authoritative, never livelocks on
-    // missing vertices).
-    location_id const home = home_of(v);
-    if (home == this->get_location_id())
-      return dir_contains(v);
-    return sync_rmi<p_graph>(home, this->get_handle(), [v](p_graph const& g) {
-      return g.dir_contains(v);
-    });
+    // missing vertices; warms this location's owner cache on success).
+    return this->get_directory().resolve(v) != invalid_location;
   }
 
   [[nodiscard]] VP get_vertex_property(gid_type v)
@@ -699,6 +697,13 @@ class p_graph final
 
   [[nodiscard]] VP* local_element_ptr(gid_type v)
   {
+    if (!is_static()) {
+      typename base::dyn_guard guard(*this); // vs concurrent migrate_out
+      if (!this->get_directory().owns(v))
+        return nullptr;
+      auto& bc = this->bc(this->get_location_id());
+      return bc.has_vertex(v) ? &bc.vertex(v).property : nullptr;
+    }
     auto const r = resolve(v);
     if (!r.resolved || r.loc != this->get_location_id())
       return nullptr;
@@ -711,6 +716,15 @@ class p_graph final
   {
     this->m_partition = graph_partition(kind, n, num_locations());
     this->m_mapper.init(num_locations(), num_locations());
+    if (kind != graph_partition_kind::static_balanced) {
+      // Directory-backed from birth.  No default owner: requests for
+      // unregistered vertices park until the add_vertex registration
+      // arrives (or forever, for vertices that never exist — as in the
+      // dissertation, accessing a nonexistent vertex is undefined).
+      this->enable_directory_resolution(nullptr);
+      this->get_directory().set_forwarding(
+          kind == graph_partition_kind::dynamic_forwarding);
+    }
     bcid_type const me = this->get_location_id();
     auto& bc = this->m_lm.emplace_bcontainer(me, me);
     if (kind == graph_partition_kind::static_balanced) {
@@ -731,32 +745,6 @@ class p_graph final
            m_next_vertex++;
   }
 
-  /// Directory accesses are guarded: under the direct transport they run
-  /// on caller threads (the metadata locking of Ch. VI.B).
-  [[nodiscard]] location_id dir_lookup(gid_type v) const
-  {
-    std::lock_guard lock(m_dir_mutex);
-    auto it = m_directory.find(v);
-    return it == m_directory.end() ? invalid_location : it->second;
-  }
-  void dir_insert(gid_type v, location_id owner)
-  {
-    std::lock_guard lock(m_dir_mutex);
-    m_directory[v] = owner;
-  }
-  void dir_erase(gid_type v)
-  {
-    std::lock_guard lock(m_dir_mutex);
-    m_directory.erase(v);
-  }
-  [[nodiscard]] bool dir_contains(gid_type v) const
-  {
-    std::lock_guard lock(m_dir_mutex);
-    return m_directory.count(v) != 0;
-  }
-
-  mutable std::mutex m_dir_mutex;
-  std::unordered_map<gid_type, location_id> m_directory;
   std::uint64_t m_next_vertex = 0;
 
   template <graph_directedness, graph_multiplicity, typename, typename,

@@ -12,15 +12,38 @@
 // thread-safety hooks, forward to the owner location, or — when resolution
 // is incomplete — migrate the request toward a location that knows more
 // (method forwarding).
+//
+// Module map of the core layer:
+//   domains.hpp          GID/domain concepts (1D, 2D, dynamic GIDs)
+//   partitions.hpp       domain -> sub-domain (bCID) decompositions
+//   mappers.hpp          bCID -> location placement
+//   base_containers.hpp  per-location storage units (bContainers)
+//   location_manager.hpp the bContainers of one location
+//   directory.hpp        distributed GID -> owner registry: home-location
+//                        records, per-location owner caches with
+//                        invalidation, request forwarding (invoke_where)
+//   migration.hpp        element-granularity handoff between bContainers,
+//                        driven through the directory
+//   thread_safety.hpp    Ch. VI locking managers + policy tables
+//   redistribution.hpp   whole-bContainer repartitioning
+//   composition.hpp      nested pContainer support
+//   container_base.hpp   this file: the CRTP method-execution skeleton,
+//                        switching between closed-form resolution (static
+//                        distributions) and the directory (dynamic ones)
 
 #include <cassert>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <type_traits>
+#include <unordered_map>
 #include <utility>
 
 #include "../runtime/runtime.hpp"
+#include "directory.hpp"
 #include "location_manager.hpp"
 #include "mappers.hpp"
+#include "migration.hpp"
 #include "partitions.hpp"
 #include "thread_safety.hpp"
 
@@ -104,6 +127,8 @@ class p_container_base : public p_object {
   /// True when the element lives in a local bContainer.
   [[nodiscard]] bool is_local(gid_type const& g) const
   {
+    if (m_dynamic)
+      return m_directory->owns(g);
     auto const r = derived().resolve(g);
     return r.resolved && r.loc == get_location_id();
   }
@@ -111,7 +136,87 @@ class p_container_base : public p_object {
   /// Location that owns (or may know more about) the GID.
   [[nodiscard]] location_id lookup(gid_type const& g) const
   {
+    if (m_dynamic) {
+      if (auto const o = m_directory->try_resolve(g))
+        return *o;
+      return m_directory->resolve(g);
+    }
     return derived().resolve(g).loc;
+  }
+
+  // -------------------------------------------------------------------------
+  // Directory-backed (dynamic) resolution
+  // -------------------------------------------------------------------------
+
+  using directory_type = directory<gid_type>;
+
+  /// The container's directory representative.  Only valid after the
+  /// container switched to dynamic resolution (make_dynamic(), or dynamic
+  /// from birth); static containers never construct one.
+  [[nodiscard]] directory_type& get_directory() noexcept
+  {
+    assert(m_directory && "get_directory(): container is not dynamic");
+    return *m_directory;
+  }
+  [[nodiscard]] directory_type const& get_directory() const noexcept
+  {
+    assert(m_directory && "get_directory(): container is not dynamic");
+    return *m_directory;
+  }
+
+  /// True when element methods resolve through the directory instead of the
+  /// closed-form partition arithmetic.
+  [[nodiscard]] bool is_dynamic() const noexcept { return m_dynamic; }
+
+  /// Collective: switches the container to directory-backed resolution.
+  /// Every location takes local ownership of its current elements;
+  /// afterwards elements may migrate between locations (see migrate()).
+  /// The closed-form owner is installed as the directory's default, so no
+  /// home records are materialized up front: elements that never move
+  /// resolve lazily to the same owner, and fresh GIDs are adopted by
+  /// their arithmetic owner.
+  void make_dynamic()
+  {
+    if (m_dynamic) {
+      rmi_fence();
+      return;
+    }
+    enable_directory_resolution([this](gid_type const& g) {
+      return m_mapper.map(m_partition.get_info(g));
+    });
+    for (auto const& g : derived().local_gids())
+      m_directory->seed_ownership(g);
+    rmi_fence();
+  }
+
+  /// Moves the element of `gid` to `dest` (asynchronous, complete at the
+  /// next fence).  Requires directory-backed resolution.
+  void migrate(gid_type const& gid, location_id dest)
+  {
+    stapl::migrate(derived(), gid, dest);
+  }
+
+  /// Framework-internal: drops the dynamic-resolution bookkeeping of an
+  /// erased element (directory ownership + home record, overflow entries).
+  /// Called by container erase methods at the owner; no-op when static.
+  void dyn_forget(gid_type const& g)
+  {
+    if (!m_dynamic)
+      return;
+    m_directory->unregister_gid(g);
+    m_dyn_index.erase(g);
+    m_migrated.erase(g);
+  }
+
+  /// Local bCID holding `g`'s element.  Default: migrated-in overflow
+  /// index, then the closed-form partition answer.  Containers with
+  /// non-arithmetic partitions (e.g. dynamic pGraph) override.
+  [[nodiscard]] bcid_type dyn_local_bcid(gid_type const& g) const
+  {
+    auto const it = m_dyn_index.find(g);
+    if (it != m_dyn_index.end())
+      return it->second;
+    return m_partition.get_info(g);
   }
 
   /// Local bContainer shortcut.
@@ -134,6 +239,19 @@ class p_container_base : public p_object {
   template <typename Action>
   void invoke(std::size_t method, gid_type gid, Action action)
   {
+    if (m_dynamic) {
+      rmi_handle const h = this->get_handle();
+      m_directory->invoke_where(
+          gid, [h, method, gid,
+                action = std::move(action)](location_id owner) mutable {
+            // Resolved at execution time so the action reaches the
+            // representative the directory routed it to (under the direct
+            // transport that is not the calling thread's location).
+            auto* c = get_registered_object_at<Derived>(owner, h);
+            c->dyn_execute(method, gid, std::move(action));
+          });
+      return;
+    }
     ths_info ti{method, invalid_bcid};
     m_ths.metadata_access_pre(ti);
     auto const info = derived().resolve(gid);
@@ -184,6 +302,20 @@ class p_container_base : public p_object {
   [[nodiscard]] auto invoke_ret(std::size_t method, gid_type gid,
                                 Action action)
   {
+    if (m_dynamic) {
+      {
+        dyn_guard guard(*this);
+        if (m_directory->owns(gid)) {
+          note_local_invocation();
+          ths_info ti{method, derived().dyn_local_bcid(gid)};
+          m_ths.data_access_pre(ti);
+          auto result = action(derived(), ti.bcid);
+          m_ths.data_access_post(ti);
+          return result;
+        }
+      }
+      return invoke_split(method, gid, std::move(action)).get();
+    }
     ths_info ti{method, invalid_bcid};
     m_ths.metadata_access_pre(ti);
     auto const info = derived().resolve(gid);
@@ -207,6 +339,17 @@ class p_container_base : public p_object {
   void route_with_result(std::size_t method, gid_type gid, Action action,
                          std::shared_ptr<typename pc_future<R>::state> st)
   {
+    if (m_dynamic) {
+      rmi_handle const h = this->get_handle();
+      m_directory->invoke_where(
+          gid, [h, method, gid, action = std::move(action),
+                st](location_id owner) mutable {
+            auto* c = get_registered_object_at<Derived>(owner, h);
+            c->template dyn_execute_result<R>(method, gid, std::move(action),
+                                              std::move(st));
+          });
+      return;
+    }
     ths_info ti{method, invalid_bcid};
     m_ths.metadata_access_pre(ti);
     auto const info = derived().resolve(gid);
@@ -235,6 +378,105 @@ class p_container_base : public p_object {
                          c.template route_with_result<R>(method, gid,
                                                          std::move(action), st);
                        });
+  }
+
+  /// Framework-internal: runs a routed action on the owner's
+  /// representative.  Re-verifies ownership — under the direct transport
+  /// (or with a migration racing the route) the element may have departed
+  /// between the directory's check and this call; the action then re-enters
+  /// the routing machinery via post_to_self instead of touching gone data.
+  template <typename Action>
+  void dyn_execute(std::size_t method, gid_type gid, Action action)
+  {
+    {
+      dyn_guard guard(*this);
+      if (m_directory->owns(gid)) {
+        note_local_invocation();
+        ths_info ti{method, derived().dyn_local_bcid(gid)};
+        m_ths.data_access_pre(ti);
+        action(derived(), ti.bcid);
+        m_ths.data_access_post(ti);
+        return;
+      }
+    }
+    // Ownership left between routing and execution (migration race):
+    // re-enter the routing machinery from the polling location.
+    rmi_handle const h = this->get_handle();
+    post_to_self([h, method, gid, action = std::move(action)]() mutable {
+      auto* c = get_registered_object<Derived>(h);
+      c->invoke(method, gid, std::move(action));
+    });
+  }
+
+  /// dyn_execute for value-returning routes (split-phase/synchronous).
+  template <typename R, typename Action>
+  void dyn_execute_result(std::size_t method, gid_type gid, Action action,
+                          std::shared_ptr<typename pc_future<R>::state> st)
+  {
+    {
+      dyn_guard guard(*this);
+      if (m_directory->owns(gid)) {
+        ths_info ti{method, derived().dyn_local_bcid(gid)};
+        m_ths.data_access_pre(ti);
+        st->value.emplace(action(derived(), ti.bcid));
+        m_ths.data_access_post(ti);
+        st->ready.store(true, std::memory_order_release);
+        return;
+      }
+    }
+    rmi_handle const h = this->get_handle();
+    post_to_self(
+        [h, method, gid, action = std::move(action), st]() mutable {
+          auto* c = get_registered_object<Derived>(h);
+          c->template route_with_result<R>(method, gid, std::move(action),
+                                           std::move(st));
+        });
+  }
+
+  // -------------------------------------------------------------------------
+  // Migration protocol steps (driven by migration.hpp's migrate()).
+  // -------------------------------------------------------------------------
+
+  /// Owner-side step: extracts the element and ships it to `dest`, leaving
+  /// a forwarding hint behind.  Re-routes the whole migration if ownership
+  /// moved before this step executed.
+  void migrate_out(gid_type gid, location_id dest)
+  {
+    using payload_type = decltype(derived().extract_element(gid));
+    std::optional<payload_type> payload;
+    {
+      dyn_guard guard(*this);
+      if (m_directory->owns(gid)) {
+        if (dest == get_location_id())
+          return; // already here — a no-op only while we still own it
+        payload.emplace(derived().extract_element(gid));
+        m_directory->migration_departed(gid, dest);
+      }
+    }
+    if (!payload) {
+      rmi_handle const h = this->get_handle();
+      post_to_self([h, gid, dest] {
+        auto* c = get_registered_object<Derived>(h);
+        c->migrate(gid, dest);
+      });
+      return;
+    }
+    async_rmi<Derived>(dest, this->get_handle(),
+                       [gid, payload = std::move(*payload)](Derived& c) mutable {
+                         c.migrate_in(gid, std::move(payload));
+                       });
+  }
+
+  /// Destination-side step: stores the payload and takes ownership (the
+  /// directory then updates the home record, invalidating stale caches).
+  template <typename Payload>
+  void migrate_in(gid_type gid, Payload payload)
+  {
+    {
+      dyn_guard guard(*this);
+      derived().insert_migrated(gid, std::move(payload));
+    }
+    m_directory->migration_arrived(gid);
   }
 
   /// Runs `f(container)` on every location of the container (one-sided
@@ -278,11 +520,63 @@ class p_container_base : public p_object {
     return static_cast<Derived const&>(*this);
   }
 
+  /// Enables directory-backed resolution with the given fallback owner
+  /// function (nullable: unknown GIDs then park until registered).  Used by
+  /// make_dynamic() and by containers that are directory-backed from birth
+  /// (dynamic pGraph).
+  void enable_directory_resolution(
+      std::function<location_id(gid_type const&)> default_owner)
+  {
+    if (!m_directory)
+      m_directory = std::make_unique<directory_type>(); // collective ctor
+    m_directory->set_default_owner(std::move(default_owner));
+    m_dynamic = true;
+  }
+
+  /// Serializes this representative's dynamic dispatch (ownership check +
+  /// local bCID computation + element access) against the migration steps
+  /// under the direct transport, where both run on arbitrary caller
+  /// threads.  No-op under the queue transport (single thread per
+  /// location).  Recursive so an element action may nest local operations
+  /// on the same container; element actions must not perform *remote*
+  /// container operations under the direct transport (Ch. VI discipline).
+  struct dyn_guard {
+    explicit dyn_guard(p_container_base const& c)
+        : m(current_transport() == transport_kind::direct ? &c.m_dyn_mutex
+                                                          : nullptr)
+    {
+      if (m)
+        m->lock();
+    }
+    ~dyn_guard()
+    {
+      if (m)
+        m->unlock();
+    }
+    dyn_guard(dyn_guard const&) = delete;
+    dyn_guard& operator=(dyn_guard const&) = delete;
+
+   private:
+    std::recursive_mutex* m;
+  };
+
   partition_type m_partition;
   mapper_type m_mapper;
   location_manager_type m_lm;
   locking_policy_table m_policies;
   ths_manager_type m_ths{&m_policies};
+  /// Constructed lazily (and collectively) when the container switches to
+  /// dynamic resolution — static containers stay directory-free.
+  std::unique_ptr<directory_type> m_directory;
+  bool m_dynamic = false;
+  mutable std::recursive_mutex m_dyn_mutex;
+  /// bCID of migrated-in elements that do not belong to a local bContainer
+  /// per the closed-form partition (value == migrated_bcid when the element
+  /// lives in m_migrated).
+  std::unordered_map<gid_type, bcid_type> m_dyn_index;
+  /// Overflow store of migrated-in elements for contiguously indexed
+  /// containers whose bContainers cannot host foreign GIDs.
+  std::unordered_map<gid_type, value_type> m_migrated;
 };
 
 // ---------------------------------------------------------------------------
@@ -409,12 +703,54 @@ class p_container_indexed : public SizeBase<Derived, Traits> {
   using typename base::value_type;
   using reference = element_proxy<Derived>;
 
+  /// Reference to the element of `gid` stored under bCID `b` — either a
+  /// partition-assigned bContainer slot or the migrated-element overflow
+  /// store.  The accessor every indexed element method funnels through, so
+  /// methods work unchanged after the element migrates.
+  [[nodiscard]] value_type& element_at(gid_type gid, bcid_type b)
+  {
+    if (b == migrated_bcid)
+      return this->m_migrated.at(gid);
+    return this->bc(b).at(this->partition().local_index(gid));
+  }
+
+  /// Removes the element of `gid` from local storage and returns it
+  /// (migration protocol hook).  Partition-assigned slots stay allocated —
+  /// contiguous storage cannot drop one index — and simply become stale;
+  /// resolution never routes to them again until the element returns.
+  [[nodiscard]] value_type extract_element(gid_type gid)
+  {
+    auto const it = this->m_dyn_index.find(gid);
+    if (it != this->m_dyn_index.end() && it->second == migrated_bcid) {
+      auto node = this->m_migrated.extract(gid);
+      this->m_dyn_index.erase(it);
+      return std::move(node.mapped());
+    }
+    return element_at(gid, this->partition().get_info(gid));
+  }
+
+  /// Stores a migrated-in element (migration protocol hook).  An element
+  /// returning to the location its partition assigns it to lands back in
+  /// its original slot; foreign elements go to the overflow store.
+  void insert_migrated(gid_type gid, value_type v)
+  {
+    bcid_type const b = this->partition().get_info(gid);
+    if (this->m_lm.has(b)) {
+      this->bc(b).set(this->partition().local_index(gid), std::move(v));
+      this->m_dyn_index.erase(gid);
+      this->m_migrated.erase(gid);
+      return;
+    }
+    this->m_migrated[gid] = std::move(v);
+    this->m_dyn_index[gid] = migrated_bcid;
+  }
+
   /// Asynchronous write (no return value — Ch. V.B asynchronous methods).
   void set_element(gid_type gid, value_type val)
   {
     this->invoke(MP_SET_ELEMENT, gid,
                  [gid, val = std::move(val)](Derived& c, bcid_type b) {
-                   c.bc(b).set(c.partition().local_index(gid), val);
+                   c.element_at(gid, b) = val;
                  });
   }
 
@@ -426,7 +762,7 @@ class p_container_indexed : public SizeBase<Derived, Traits> {
     (void)this->invoke_ret(MP_SET_ELEMENT, gid,
                            [gid, val = std::move(val)](Derived& c,
                                                        bcid_type b) {
-                             c.bc(b).set(c.partition().local_index(gid), val);
+                             c.element_at(gid, b) = val;
                              return true;
                            });
   }
@@ -436,7 +772,7 @@ class p_container_indexed : public SizeBase<Derived, Traits> {
   {
     return this->invoke_ret(MP_GET_ELEMENT, gid,
                             [gid](Derived& c, bcid_type b) {
-                              return c.bc(b).at(c.partition().local_index(gid));
+                              return c.element_at(gid, b);
                             });
   }
 
@@ -445,8 +781,7 @@ class p_container_indexed : public SizeBase<Derived, Traits> {
   {
     return this->invoke_split(MP_GET_ELEMENT, gid,
                               [gid](Derived& c, bcid_type b) {
-                                return c.bc(b).at(
-                                    c.partition().local_index(gid));
+                                return c.element_at(gid, b);
                               });
   }
 
@@ -457,8 +792,7 @@ class p_container_indexed : public SizeBase<Derived, Traits> {
     return this->invoke_ret(MP_APPLY, gid,
                             [gid, f = std::move(f)](Derived& c,
                                                     bcid_type b) mutable {
-                              return f(c.bc(b).at(
-                                  c.partition().local_index(gid)));
+                              return f(c.element_at(gid, b));
                             });
   }
 
@@ -468,7 +802,7 @@ class p_container_indexed : public SizeBase<Derived, Traits> {
   {
     this->invoke(MP_APPLY, gid,
                  [gid, f = std::move(f)](Derived& c, bcid_type b) mutable {
-                   f(c.bc(b).at(c.partition().local_index(gid)));
+                   f(c.element_at(gid, b));
                  });
   }
 
@@ -480,15 +814,29 @@ class p_container_indexed : public SizeBase<Derived, Traits> {
   /// Direct reference to a *local* element (native-view fast path).
   [[nodiscard]] value_type& local_element(gid_type gid)
   {
+    if (this->is_dynamic()) {
+      typename base::dyn_guard guard(*this); // vs concurrent migrate_out
+      assert(this->get_directory().owns(gid));
+      return element_at(gid, this->derived().dyn_local_bcid(gid));
+    }
     auto const r = this->derived().resolve(gid);
     assert(r.resolved && r.loc == this->get_location_id());
     return this->bc(r.bcid).at(this->partition().local_index(gid));
   }
 
   /// Pointer to a local element, or nullptr when the element is remote
-  /// (lets views/algorithms take the direct path when possible).
+  /// (lets views/algorithms take the direct path when possible).  The
+  /// lookup itself is guarded against concurrent migration; the returned
+  /// pointer, like any native-view reference, is only stable within a
+  /// computation phase (no concurrent migration of the same element).
   [[nodiscard]] value_type* local_element_ptr(gid_type gid)
   {
+    if (this->is_dynamic()) {
+      typename base::dyn_guard guard(*this);
+      if (!this->get_directory().owns(gid))
+        return nullptr;
+      return &element_at(gid, this->derived().dyn_local_bcid(gid));
+    }
     auto const r = this->derived().resolve(gid);
     if (!r.resolved || r.loc != this->get_location_id())
       return nullptr;

@@ -1,0 +1,697 @@
+#ifndef STAPL_CORE_DIRECTORY_HPP
+#define STAPL_CORE_DIRECTORY_HPP
+
+// Distributed directory (dissertation Ch. V.C.3 / Ch. XI.F.2).
+//
+// The directory is the mechanism that frees a pContainer from purely
+// arithmetic GID resolution: each GID has a hash-determined *home location*
+// holding its authoritative owner record, so elements can be registered,
+// found and *moved* at run time without replicating global metadata.
+//
+// Per-location state of one directory:
+//   * m_registry — authoritative owner records of the GIDs *homed* here,
+//     each with the copyset of locations that cached the answer;
+//   * m_owned    — the GIDs whose element currently lives on this location;
+//   * m_away     — forwarding hints left behind by outbound migrations
+//     (requests that still arrive here chase the hint, Ch. XI.F.2
+//     "dynamic with forwarding");
+//   * m_cache    — owner cache filled by cold home lookups and by the home
+//     piggybacking answers onto forwarded work; invalidated by the home
+//     when the owner record changes (migration, re-registration, erase).
+//
+// Work routing (`invoke_where`) migrates the *request* to the data: caller
+// -> (cache | home) -> owner, with at most one hop added per stale level.
+// When metadata is still in flight (registration or migration racing the
+// request), the request parks via post_to_self and is retried once per
+// poll round — it stays visible to rmi_fence's termination detection, so a
+// fence cannot pass over forwarded-but-unexecuted work.
+//
+// All inter-representative traffic uses the existing ARMI primitives; the
+// per-representative mutex exists for the `direct` transport, where
+// handlers execute on caller threads (Ch. VI metadata locking).
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "../runtime/runtime.hpp"
+
+namespace stapl {
+
+/// Performance counters of one location's directory representative.
+struct directory_stats {
+  std::uint64_t local_hits = 0;      ///< resolved on the owner, no traffic
+  std::uint64_t cache_hits = 0;      ///< resolved from the owner cache
+  std::uint64_t home_routed = 0;     ///< requests routed through the home
+  std::uint64_t cold_lookups = 0;    ///< synchronous home lookups
+  std::uint64_t forwards = 0;        ///< forwarding hops taken by work items
+  std::uint64_t stale_bounces = 0;   ///< work that hit a stale owner
+  std::uint64_t invalidations = 0;   ///< cache entries dropped on update
+  std::uint64_t retries = 0;         ///< requests parked for in-flight metadata
+  std::uint64_t migrations_in = 0;   ///< elements that arrived here
+  std::uint64_t migrations_out = 0;  ///< elements that departed from here
+};
+
+/// Distributed GID -> owner-location directory.  One representative per
+/// location (collective construction, like any p_object).
+///
+/// The element *owner* is the location whose bContainer currently stores
+/// the element; the *home* of a GID is the hash-determined location holding
+/// its owner record.  Owners register/unregister; anyone may resolve or
+/// route work; migration updates the record and invalidates stale caches.
+template <typename GID, typename Hash = std::hash<GID>>
+class directory : public p_object {
+ public:
+  using gid_type = GID;
+  /// Type-erased work item routed to the owner of a GID.  Invoked with the
+  /// location of the representative it executes against — under the direct
+  /// transport that is not the calling thread's location, so work must use
+  /// the argument (not this_location()) to find its container.
+  using work_item = std::function<void(location_id)>;
+
+  directory() = default;
+
+  /// Installs the fallback owner function consulted by the home for GIDs
+  /// without a record (e.g. the closed-form partition+mapper owner of a
+  /// container).  Without it, requests for unknown GIDs park until a
+  /// registration arrives.
+  void set_default_owner(std::function<location_id(GID const&)> f)
+  {
+    m_default_owner = std::move(f);
+  }
+
+  /// Selects between the two Ch. XI.F.2 translation modes: with forwarding
+  /// (default) unresolved work migrates through the home; without, the
+  /// requester synchronously fetches the owner first (two round trips).
+  void set_forwarding(bool enable) noexcept { m_forwarding = enable; }
+
+  /// Home location of a GID's owner record (golden-ratio mix of the hash so
+  /// clustered GIDs spread over all locations).
+  [[nodiscard]] location_id home_of(GID const& g) const noexcept
+  {
+    auto const h = static_cast<std::uint64_t>(Hash{}(g));
+    return static_cast<location_id>((h * 0x9E3779B97F4A7C15ull >> 32) %
+                                    get_num_locations());
+  }
+
+  /// True when this location currently owns the element of `g`.
+  [[nodiscard]] bool owns(GID const& g) const
+  {
+    std::lock_guard lock(m_mutex);
+    return m_owned.count(g) != 0;
+  }
+
+  [[nodiscard]] directory_stats const& stats() const noexcept
+  {
+    return m_stats;
+  }
+
+  /// Number of owner records homed on this location.
+  [[nodiscard]] std::size_t local_registry_size() const
+  {
+    std::lock_guard lock(m_mutex);
+    return m_registry.size();
+  }
+
+  /// Drops this location's owner cache (bench/test support).
+  void clear_cache()
+  {
+    std::lock_guard lock(m_mutex);
+    m_cache.clear();
+  }
+
+  // -------------------------------------------------------------------------
+  // Registration (asynchronous; complete at the next rmi_fence)
+  // -------------------------------------------------------------------------
+
+  /// Takes local ownership of `g` without creating a home record.  Only
+  /// valid when the installed default owner already resolves `g` to this
+  /// location (e.g. a container seeding its current elements in
+  /// make_dynamic): the home then materializes an identical record lazily
+  /// on first use, so no registration traffic is needed.
+  void seed_ownership(GID const& g)
+  {
+    std::lock_guard lock(m_mutex);
+    m_owned.insert(g);
+    m_away.erase(g);
+    m_cache.erase(g);
+  }
+
+  /// Declares this location the owner of `g` and records it at the home.
+  void register_gid(GID const& g)
+  {
+    {
+      std::lock_guard lock(m_mutex);
+      m_owned.insert(g);
+      m_away.erase(g);
+    }
+    update_home_record(g);
+  }
+
+  /// Removes `g` from this location and erases its home record.
+  void unregister_gid(GID const& g)
+  {
+    {
+      std::lock_guard lock(m_mutex);
+      m_owned.erase(g);
+      m_away.erase(g);
+      m_cache.erase(g);
+    }
+    location_id const home = home_of(g);
+    if (home == get_location_id()) {
+      handle_erase_record(g);
+      return;
+    }
+    async_rmi<directory>(home, this->get_handle(),
+                         [g](directory& d) { d.handle_erase_record(g); });
+  }
+
+  // -------------------------------------------------------------------------
+  // Resolution
+  // -------------------------------------------------------------------------
+
+  /// Owner of `g` using only location-local knowledge (ownership, home
+  /// record, cache); nullopt when answering would need communication.
+  [[nodiscard]] std::optional<location_id> try_resolve(GID const& g) const
+  {
+    std::lock_guard lock(m_mutex);
+    if (m_owned.count(g))
+      return get_location_id();
+    if (home_of(g) == get_location_id()) {
+      auto it = m_registry.find(g);
+      if (it != m_registry.end())
+        return it->second.owner;
+      return std::nullopt;
+    }
+    auto it = m_cache.find(g);
+    if (it != m_cache.end())
+      return it->second;
+    return std::nullopt;
+  }
+
+  /// Blocking owner lookup: answers locally when possible, otherwise asks
+  /// the home synchronously, subscribing this location to invalidations.
+  /// The home pushes the answer into this location's cache as a separate
+  /// message ordered against its invalidations, so a migration racing the
+  /// lookup cannot strand a stale entry here; the return value is the
+  /// point-in-time owner.  Returns invalid_location for unknown GIDs on a
+  /// directory without a default owner.
+  [[nodiscard]] location_id resolve(GID const& g)
+  {
+    {
+      std::lock_guard lock(m_mutex);
+      if (m_owned.count(g)) {
+        m_stats.local_hits += 1;
+        return get_location_id();
+      }
+      auto it = m_cache.find(g);
+      if (it != m_cache.end()) {
+        m_stats.cache_hits += 1;
+        return it->second;
+      }
+    }
+    location_id const home = home_of(g);
+    if (home == get_location_id())
+      return handle_lookup(g, invalid_location);
+    location_id const me = get_location_id();
+    {
+      std::lock_guard lock(m_mutex);
+      m_stats.cold_lookups += 1;
+    }
+    return sync_rmi<directory>(
+        home, this->get_handle(),
+        [g, me](directory& d) { return d.handle_lookup(g, me); });
+  }
+
+  // -------------------------------------------------------------------------
+  // Work routing (request forwarding)
+  // -------------------------------------------------------------------------
+
+  /// Routes `f` to the location currently owning `g` and executes it there
+  /// exactly once.  Asynchronous: completion is guaranteed by the next
+  /// rmi_fence even when the route crosses stale caches or an in-flight
+  /// migration.  `f` must reach state it needs through registered handles
+  /// (it executes on another location's thread under the queue transport).
+  template <typename F>
+  void invoke_where(GID const& g, F f)
+  {
+    {
+      std::unique_lock lock(m_mutex);
+      if (m_owned.count(g)) {
+        m_stats.local_hits += 1;
+        lock.unlock();
+        f(get_location_id());
+        return;
+      }
+    }
+    route_work(g, work_item(std::move(f)), get_location_id());
+  }
+
+  // -------------------------------------------------------------------------
+  // Migration protocol hooks (driven by migration.hpp)
+  // -------------------------------------------------------------------------
+
+  /// Owner-side step: the element of `g` has been extracted and is on its
+  /// way to `dest`.  Leaves a forwarding hint so requests that still arrive
+  /// here chase the element.
+  void migration_departed(GID const& g, location_id dest)
+  {
+    std::lock_guard lock(m_mutex);
+    m_owned.erase(g);
+    m_away[g] = dest;
+    m_stats.migrations_out += 1;
+  }
+
+  /// Destination-side step: the element of `g` has been stored locally.
+  /// Takes ownership and updates the home record (asynchronously), which
+  /// invalidates stale caches.
+  void migration_arrived(GID const& g)
+  {
+    {
+      std::lock_guard lock(m_mutex);
+      m_owned.insert(g);
+      m_away.erase(g);
+      m_cache.erase(g);
+      m_stats.migrations_in += 1;
+    }
+    update_home_record(g);
+  }
+
+  // -------------------------------------------------------------------------
+  // Message handlers (public: they execute on remote representatives via
+  // the ARMI primitives; not part of the user-facing interface)
+  // -------------------------------------------------------------------------
+
+  /// At the home: installs/overwrites the owner record of `g` and
+  /// invalidates every copyset member that cached a different owner.
+  /// Invalidations are issued while the record lock is held, so they
+  /// serialize against the cache updates of concurrent lookups: a cache
+  /// can never end up holding an owner the home has already replaced.
+  void handle_record_owner(GID const& g, location_id owner)
+  {
+    std::lock_guard lock(m_mutex);
+    auto& rec = m_registry[g];
+    if (rec.owner != owner) {
+      std::vector<location_id> stale;
+      stale.swap(rec.copyset);
+      invalidate_copies_locked(g, owner, stale);
+      if (rec.owner != invalid_location)
+        remember_former(rec, rec.owner);
+    }
+    rec.owner = owner;
+  }
+
+  /// At the home: erases the record of `g` and invalidates all copies.
+  void handle_erase_record(GID const& g)
+  {
+    std::lock_guard lock(m_mutex);
+    auto it = m_registry.find(g);
+    if (it == m_registry.end())
+      return;
+    std::vector<location_id> stale;
+    stale.swap(it->second.copyset);
+    std::vector<location_id> former;
+    former.swap(it->second.former);
+    m_registry.erase(it);
+    invalidate_copies_locked(g, invalid_location, stale);
+    for (location_id l : former) {
+      if (l == get_location_id()) {
+        m_away.erase(g);
+        continue;
+      }
+      queued_rmi<directory>(l, this->get_handle(),
+                            [g](directory& d) { d.handle_clear_hint(g); });
+    }
+  }
+
+  /// At the home: owner of `g`, subscribing `requester` to invalidations
+  /// and pushing the answer into its cache (both under the record lock,
+  /// ordered against invalidations).  Installs the default owner for
+  /// unknown GIDs when available.
+  [[nodiscard]] location_id handle_lookup(GID const& g, location_id requester)
+  {
+    std::lock_guard lock(m_mutex);
+    auto it = m_registry.find(g);
+    if (it == m_registry.end()) {
+      if (!m_default_owner)
+        return invalid_location;
+      it = m_registry.emplace(g, home_record{m_default_owner(g)}).first;
+    }
+    location_id const owner = it->second.owner;
+    if (requester != invalid_location && requester != owner &&
+        requester != get_location_id()) {
+      subscribe(it->second, requester);
+      // Queued (never inline): sent under m_mutex, and an inline send
+      // would lock the requester's representative while we hold ours —
+      // two homes servicing each other would deadlock.
+      queued_rmi<directory>(requester, this->get_handle(),
+                            [g, owner](directory& d) {
+                              d.handle_cache_update(g, owner);
+                            });
+    }
+    return owner;
+  }
+
+  /// At the home: routes `f` toward the recorded owner of `g`.  Unknown
+  /// GIDs either adopt the default owner or park until registration
+  /// arrives; records pointing at an in-flight element park as well.
+  void handle_home_exec(GID g, location_id requester, work_item f)
+  {
+    if (try_home_route(g, requester, f))
+      return;
+    park_retry(g, requester, std::move(f));
+  }
+
+  /// At a presumed owner: executes `f` if the element is here, chases the
+  /// forwarding hint if the element left, and otherwise adopts the GID
+  /// when the home's current record designates this location.  Adoption is
+  /// safe exactly then: ownership and hints swap atomically, so a
+  /// designated location with neither holds no live element anywhere —
+  /// either a never-recorded fresh GID or a deleted incarnation (whose
+  /// stale hints the home clears via its former-owner list).  A request
+  /// that finds this location stale tells the requester to drop its cache
+  /// entry, so the next access resolves fresh instead of re-bouncing here.
+  void handle_forward_exec(GID g, work_item f, bool designated,
+                           location_id requester)
+  {
+    {
+      std::unique_lock lock(m_mutex);
+      if (m_owned.count(g)) {
+        lock.unlock();
+        f(get_location_id());
+        return;
+      }
+      auto hint = m_away.find(g);
+      if (hint != m_away.end()) {
+        // The element lived here and left: chase it.  The chase does not
+        // inherit designation — only the home's record confers it.
+        location_id const next = hint->second;
+        m_stats.forwards += 1;
+        lock.unlock();
+        notify_stale(g, requester);
+        send_forward(next, g, std::move(f), false, requester);
+        return;
+      }
+      if (designated) {
+        m_owned.insert(g);
+        lock.unlock();
+        f(get_location_id());
+        return;
+      }
+      m_stats.stale_bounces += 1;
+    }
+    // Stale knowledge (cache pointed here, or the record outran an
+    // in-flight migration): park and re-route from scratch next poll.
+    notify_stale(g, requester);
+    park_retry(g, requester, std::move(f));
+  }
+
+  /// Cache maintenance messages.
+  void handle_cache_update(GID const& g, location_id owner)
+  {
+    std::lock_guard lock(m_mutex);
+    if (!m_owned.count(g))
+      m_cache[g] = owner;
+  }
+  void handle_cache_invalidate(GID const& g)
+  {
+    std::lock_guard lock(m_mutex);
+    m_cache.erase(g);
+    m_stats.invalidations += 1;
+  }
+
+  /// The GID's record was erased: any forwarding hint held here belongs
+  /// to a dead incarnation.
+  void handle_clear_hint(GID const& g)
+  {
+    std::lock_guard lock(m_mutex);
+    m_away.erase(g);
+  }
+
+ private:
+  struct home_record {
+    location_id owner = invalid_location;
+    /// Locations whose cache holds this record's answer.
+    std::vector<location_id> copyset;
+    /// Former owners (they hold forwarding hints for this GID); their
+    /// hints are cleared when the record is erased, so chains from dead
+    /// incarnations cannot persist.
+    std::vector<location_id> former;
+  };
+
+  /// Points `g`'s home record at this location (registration and
+  /// migration-arrival share this step).
+  void update_home_record(GID const& g)
+  {
+    location_id const home = home_of(g);
+    location_id const owner = get_location_id();
+    if (home == owner) {
+      handle_record_owner(g, owner);
+      return;
+    }
+    async_rmi<directory>(home, this->get_handle(),
+                         [g, owner](directory& d) {
+                           d.handle_record_owner(g, owner);
+                         });
+  }
+
+  void subscribe(home_record& rec, location_id requester)
+  {
+    for (location_id l : rec.copyset)
+      if (l == requester)
+        return;
+    rec.copyset.push_back(requester);
+  }
+
+  static void remember_former(home_record& rec, location_id loc)
+  {
+    for (location_id l : rec.former)
+      if (l == loc)
+        return;
+    rec.former.push_back(loc);
+  }
+
+  /// Requires m_mutex held.  Sends are queued, never inline: an inline
+  /// send would take the target representative's mutex while this one is
+  /// held (cross-location deadlock under the direct transport).  Queued
+  /// delivery preserves push order, which is all the coherence argument
+  /// needs: updates and invalidations reach each location in the order
+  /// the home's record lock emitted them.
+  void invalidate_copies_locked(GID const& g, location_id keep,
+                                std::vector<location_id> const& targets)
+  {
+    for (location_id l : targets) {
+      if (l == keep)
+        continue;
+      if (l == get_location_id()) {
+        m_cache.erase(g);
+        m_stats.invalidations += 1;
+        continue;
+      }
+      queued_rmi<directory>(l, this->get_handle(),
+                            [g](directory& d) { d.handle_cache_invalidate(g); });
+    }
+  }
+
+  void send_forward(location_id dest, GID const& g, work_item f, bool adopt,
+                    location_id requester)
+  {
+    if (dest == get_location_id()) {
+      handle_forward_exec(g, std::move(f), adopt, requester);
+      return;
+    }
+    async_rmi<directory>(
+        dest, this->get_handle(),
+        [g, f = std::move(f), adopt, requester](directory& d) mutable {
+          d.handle_forward_exec(g, std::move(f), adopt, requester);
+        });
+  }
+
+  /// Tells `requester` that the knowledge which routed a request here was
+  /// stale (no-op for anonymous or local requesters).
+  void notify_stale(GID const& g, location_id requester)
+  {
+    if (requester == invalid_location)
+      return;
+    if (requester == get_location_id()) {
+      handle_cache_invalidate(g);
+      return;
+    }
+    queued_rmi<directory>(requester, this->get_handle(),
+                          [g](directory& d) { d.handle_cache_invalidate(g); });
+  }
+
+  /// Routes `f` from this location: hint and cache first, then the home
+  /// (forwarding mode) or a synchronous lookup (no-forwarding mode).
+  void route_work(GID const& g, work_item f, location_id requester)
+  {
+    {
+      std::unique_lock lock(m_mutex);
+      auto hint = m_away.find(g);
+      if (hint != m_away.end()) {
+        location_id const next = hint->second;
+        m_stats.forwards += 1;
+        lock.unlock();
+        send_forward(next, g, std::move(f), false, requester);
+        return;
+      }
+      auto it = m_cache.find(g);
+      if (it != m_cache.end()) {
+        location_id const owner = it->second;
+        m_stats.cache_hits += 1;
+        lock.unlock();
+        send_forward(owner, g, std::move(f), false, requester);
+        return;
+      }
+    }
+    location_id const home = home_of(g);
+    if (home == get_location_id()) {
+      handle_home_exec(g, requester, std::move(f));
+      return;
+    }
+    if (!m_forwarding) {
+      // Ch. XI.F.2 "dynamic without forwarding": fetch the owner first.
+      location_id const owner = resolve(g);
+      if (owner == invalid_location) {
+        park_retry(g, requester, std::move(f));
+        return;
+      }
+      send_forward(owner, g, std::move(f), false, requester);
+      return;
+    }
+    {
+      std::lock_guard lock(m_mutex);
+      m_stats.home_routed += 1;
+    }
+    async_rmi<directory>(home, this->get_handle(),
+                         [g, requester, f = std::move(f)](directory& d) mutable {
+                           d.handle_home_exec(g, requester, std::move(f));
+                         });
+  }
+
+  /// Home-side routing step; false when no progress is possible yet (`f`
+  /// not consumed).
+  [[nodiscard]] bool try_home_route(GID const& g, location_id requester,
+                                    work_item& f)
+  {
+    location_id owner;
+    {
+      std::lock_guard lock(m_mutex);
+      auto it = m_registry.find(g);
+      if (it == m_registry.end()) {
+        if (!m_default_owner)
+          return false; // registration still in flight: park
+        it = m_registry.emplace(g, home_record{m_default_owner(g)}).first;
+      }
+      owner = it->second.owner;
+      if (requester != invalid_location && requester != owner &&
+          requester != get_location_id()) {
+        // Piggyback the answer so the requester's next access skips the
+        // home; sent under the record lock so it orders against
+        // invalidations from concurrent ownership changes.
+        subscribe(it->second, requester);
+        queued_rmi<directory>(requester, this->get_handle(),
+                              [g, owner](directory& d) {
+                                d.handle_cache_update(g, owner);
+                              });
+      }
+    }
+    if (owner != get_location_id()) {
+      // The forward carries designation: the record currently names the
+      // target, entitling it to adopt if it holds neither element nor hint.
+      send_forward(owner, g, std::move(f), true, requester);
+      return true;
+    }
+    // The record points at the home itself: same rules, applied locally.
+    {
+      std::unique_lock lock(m_mutex);
+      if (m_owned.count(g)) {
+        lock.unlock();
+        work_item body = std::move(f);
+        body(get_location_id());
+        return true;
+      }
+      auto hint = m_away.find(g);
+      if (hint != m_away.end()) {
+        location_id const next = hint->second;
+        m_stats.forwards += 1;
+        lock.unlock();
+        send_forward(next, g, std::move(f), false, requester);
+        return true;
+      }
+      m_owned.insert(g); // designated with no element or hint: adopt
+      lock.unlock();
+      work_item body = std::move(f);
+      body(get_location_id());
+      return true;
+    }
+  }
+
+  /// Parks `f` on this location's inbox (counted as pending traffic, so
+  /// rmi_fence cannot terminate over it) and retries once per poll round
+  /// until the route makes progress — the metadata it lacks travels as
+  /// ordinary RMI traffic and lands between polls.
+  void park_retry(GID const& g, location_id requester, work_item f)
+  {
+    {
+      std::lock_guard lock(m_mutex);
+      m_stats.retries += 1;
+    }
+    rmi_handle const h = this->get_handle();
+    post_to_self([h, g, requester, f = std::move(f)]() mutable -> bool {
+      auto* d = get_registered_object<directory>(h);
+      assert(d != nullptr && "directory destroyed with parked work");
+      return d->retry_route(g, requester, f);
+    });
+  }
+
+  /// Re-evaluates a parked request on the polling location's representative.
+  /// False keeps it parked for the next poll round.
+  [[nodiscard]] bool retry_route(GID const& g, location_id requester,
+                                 work_item& f)
+  {
+    {
+      std::unique_lock lock(m_mutex);
+      if (m_owned.count(g)) {
+        lock.unlock();
+        work_item body = std::move(f);
+        body(get_location_id());
+        return true;
+      }
+      auto hint = m_away.find(g);
+      if (hint != m_away.end()) {
+        location_id const next = hint->second;
+        m_stats.forwards += 1;
+        lock.unlock();
+        send_forward(next, g, std::move(f), false, requester);
+        return true;
+      }
+    }
+    if (home_of(g) == get_location_id())
+      return try_home_route(g, requester, f);
+    // Not the home: push the request back onto the home once; the home
+    // parks it again if its record is still in flight.
+    route_work(g, std::move(f), requester);
+    return true;
+  }
+
+  std::function<location_id(GID const&)> m_default_owner;
+  bool m_forwarding = true;
+
+  mutable std::mutex m_mutex;
+  std::unordered_map<GID, home_record, Hash> m_registry;
+  std::unordered_set<GID, Hash> m_owned;
+  std::unordered_map<GID, location_id, Hash> m_away;
+  std::unordered_map<GID, location_id, Hash> m_cache;
+  directory_stats m_stats;
+};
+
+} // namespace stapl
+
+#endif

@@ -25,6 +25,11 @@ using bcid_type = std::size_t;
 
 inline constexpr bcid_type invalid_bcid = static_cast<bcid_type>(-1);
 
+/// Pseudo-bCID of elements that migrated onto a location outside any of its
+/// partition-assigned bContainers (they live in the container's overflow
+/// store; see container_base.hpp).
+inline constexpr bcid_type migrated_bcid = static_cast<bcid_type>(-2);
+
 // ---------------------------------------------------------------------------
 // Indexed partitions (pArray, pVector, static pGraph)
 // ---------------------------------------------------------------------------

@@ -29,8 +29,9 @@ void rmi_fence()
     // poll per location may straddle the barrier release and still send
     // messages.  Wait for those to retire so the counters are frozen and all
     // locations take the same verdict.
+    wait_backoff bo;
     while (impl.active_polls.load(std::memory_order_acquire) != 0)
-      std::this_thread::yield();
+      bo.pause();
     bool const quiesced =
         impl.total_sent.load(std::memory_order_acquire) ==
         impl.total_executed.load(std::memory_order_acquire);

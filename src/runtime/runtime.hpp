@@ -36,6 +36,7 @@
 #include <stdexcept>
 #include <thread>
 #include <tuple>
+#include <type_traits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -75,9 +76,30 @@ struct location_stats {
 namespace runtime_detail {
 
 /// A queued RMI request.  Returns false when the target object has not yet
-/// been registered on this location (SPMD construction skew); the message is
-/// then deferred and retried on the next poll.
+/// been registered on this location (SPMD construction skew), or — for
+/// directory-forwarded work — when resolution metadata is still in flight;
+/// the message is then deferred and retried on the next poll.
 using request = std::function<bool()>;
+
+/// Backoff for every wait loop of the RTS.  A brief yield phase keeps
+/// latency low when the peer is already running; after that the waiter
+/// sleeps so an oversubscribed core can schedule the peer immediately
+/// instead of burning whole scheduler quanta in a yield storm.
+class wait_backoff {
+ public:
+  void pause() noexcept
+  {
+    if (m_spins++ < 64) {
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  void reset() noexcept { m_spins = 0; }
+
+ private:
+  unsigned m_spins = 0;
+};
 
 /// Sense-reversing barrier across all locations of the execution.  `arrive`
 /// and `passed` are split so callers can drive communication progress while
@@ -105,12 +127,9 @@ class spmd_barrier {
   void arrive_and_wait() noexcept
   {
     unsigned const gen = arrive();
-    for (unsigned spins = 0; !passed(gen); ++spins) {
-      if (spins < 256)
-        std::this_thread::yield();
-      else
-        std::this_thread::sleep_for(std::chrono::microseconds(20));
-    }
+    wait_backoff bo;
+    while (!passed(gen))
+      bo.pause();
   }
 
  private:
@@ -346,26 +365,6 @@ inline bool poll_once()
   return progressed;
 }
 
-/// Backoff for wait loops.  A brief yield phase keeps latency low when the
-/// peer is already running; after that the waiter sleeps so an oversubscribed
-/// core can schedule the peer immediately instead of burning whole scheduler
-/// quanta in a yield storm.
-class wait_backoff {
- public:
-  void pause() noexcept
-  {
-    if (m_spins++ < 64) {
-      std::this_thread::yield();
-      return;
-    }
-    std::this_thread::sleep_for(std::chrono::microseconds(50));
-  }
-  void reset() noexcept { m_spins = 0; }
-
- private:
-  unsigned m_spins = 0;
-};
-
 inline void enqueue_remote(location_id dest, request r)
 {
   auto& self = rt().loc(tl_location);
@@ -386,13 +385,11 @@ inline void enqueue_remote(location_id dest, request r)
 template <typename Obj>
 [[nodiscard]] Obj* lookup_wait(location_id loc, rmi_handle h)
 {
-  for (unsigned spins = 0;; ++spins) {
+  wait_backoff bo;
+  for (;;) {
     if (void* p = rt().loc(loc).registry.lookup(h))
       return static_cast<Obj*>(p);
-    if (spins < 64)
-      std::this_thread::yield();
-    else
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    bo.pause();
   }
 }
 
@@ -421,11 +418,29 @@ template <typename T>
   return static_cast<T*>(rt().loc(this_location()).registry.lookup(h));
 }
 
+/// Representative of a registered p_object on location `loc` (spins until
+/// the owner's construction statement registers it).  Routed work (e.g. a
+/// directory-forwarded request) uses this to reach the representative it
+/// was delivered to: under the direct transport handlers execute on caller
+/// threads, so this_location() does not identify the executing
+/// representative.
+template <typename T>
+[[nodiscard]] T* get_registered_object_at(location_id loc, rmi_handle h)
+{
+  return runtime_detail::lookup_wait<T>(loc, h);
+}
+
 /// Re-enqueues work into this location's own inbox, to be retried on a later
 /// poll.  Used by method forwarding when resolution metadata has not arrived
 /// yet (e.g. a directory registration still in flight): executing inline
 /// would recurse, so the request is parked behind the pending traffic.
 /// Counts as a pending RMI for fence termination purposes.
+///
+/// `f` may return void (executed exactly once on the next poll) or bool:
+/// a bool-returning `f` that yields false is parked on the deferred queue
+/// and retried once per poll round until it reports completion, without
+/// burning a fresh enqueue per attempt.  Either flavor keeps the fence's
+/// termination detection pessimistic until the work actually runs.
 template <typename F>
 void post_to_self(F f)
 {
@@ -434,8 +449,12 @@ void post_to_self(F f)
   self.stats.rmis_sent += 1;
   rt().total_sent.fetch_add(1, std::memory_order_acq_rel);
   self.in.push([f = std::move(f)]() mutable -> bool {
-    f();
-    return true;
+    if constexpr (std::is_same_v<std::invoke_result_t<F&>, bool>) {
+      return f();
+    } else {
+      f();
+      return true;
+    }
   });
 }
 
@@ -589,6 +608,28 @@ decltype(auto) apply_on(Obj& o, F& f, Tuple& t)
 
 } // namespace runtime_detail
 
+/// Queued RMI: like async_rmi, but always delivered through the
+/// destination's inbox — even under the direct transport, and even to
+/// self.  Two guarantees async_rmi cannot give there: messages pushed by
+/// one sender execute in push order, and the send never executes handler
+/// code inline (so it is safe while holding locks the handler might also
+/// take on another representative).  Delivery happens at the destination's
+/// next poll; completion by the next rmi_fence.
+template <typename Obj, typename F, typename... Args>
+void queued_rmi(location_id dest, rmi_handle h, F f, Args... args)
+{
+  using namespace runtime_detail;
+  enqueue_remote(dest,
+                 [dest, h, f = std::move(f),
+                  tup = std::make_tuple(std::move(args)...)]() mutable -> bool {
+                   void* p = rt().loc(dest).registry.lookup(h);
+                   if (p == nullptr)
+                     return false;
+                   apply_on(*static_cast<Obj*>(p), f, tup);
+                   return true;
+                 });
+}
+
 /// Asynchronous RMI: executes `f(obj_at(dest), args...)` on the destination
 /// representative of the object identified by `h`; returns immediately
 /// (Ch. III.B).  Completion is guaranteed by the next rmi_fence, or — for
@@ -612,15 +653,7 @@ void async_rmi(location_id dest, rmi_handle h, F f, Args... args)
     std::invoke(f, *o, std::move(args)...);
     return;
   }
-  enqueue_remote(dest,
-                 [dest, h, f = std::move(f),
-                  tup = std::make_tuple(std::move(args)...)]() mutable -> bool {
-                   void* p = rt().loc(dest).registry.lookup(h);
-                   if (p == nullptr)
-                     return false;
-                   apply_on(*static_cast<Obj*>(p), f, tup);
-                   return true;
-                 });
+  queued_rmi<Obj>(dest, h, std::move(f), std::move(args)...);
 }
 
 /// Synchronous RMI: executes `f` on the destination representative and
