@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig27_parray_ctor.dir/bench/bench_fig27_parray_ctor.cpp.o"
+  "CMakeFiles/bench_fig27_parray_ctor.dir/bench/bench_fig27_parray_ctor.cpp.o.d"
+  "bench_fig27_parray_ctor"
+  "bench_fig27_parray_ctor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig27_parray_ctor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

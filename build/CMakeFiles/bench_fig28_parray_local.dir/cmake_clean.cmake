@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig28_parray_local.dir/bench/bench_fig28_parray_local.cpp.o"
+  "CMakeFiles/bench_fig28_parray_local.dir/bench/bench_fig28_parray_local.cpp.o.d"
+  "bench_fig28_parray_local"
+  "bench_fig28_parray_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig28_parray_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

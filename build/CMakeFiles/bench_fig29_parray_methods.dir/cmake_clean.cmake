@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig29_parray_methods.dir/bench/bench_fig29_parray_methods.cpp.o"
+  "CMakeFiles/bench_fig29_parray_methods.dir/bench/bench_fig29_parray_methods.cpp.o.d"
+  "bench_fig29_parray_methods"
+  "bench_fig29_parray_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig29_parray_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

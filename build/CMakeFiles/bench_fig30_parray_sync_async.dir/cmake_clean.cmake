@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig30_parray_sync_async.dir/bench/bench_fig30_parray_sync_async.cpp.o"
+  "CMakeFiles/bench_fig30_parray_sync_async.dir/bench/bench_fig30_parray_sync_async.cpp.o.d"
+  "bench_fig30_parray_sync_async"
+  "bench_fig30_parray_sync_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig30_parray_sync_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig31_parray_remote_pct.dir/bench/bench_fig31_parray_remote_pct.cpp.o"
+  "CMakeFiles/bench_fig31_parray_remote_pct.dir/bench/bench_fig31_parray_remote_pct.cpp.o.d"
+  "bench_fig31_parray_remote_pct"
+  "bench_fig31_parray_remote_pct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig31_parray_remote_pct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig32_parray_local_remote.dir/bench/bench_fig32_parray_local_remote.cpp.o"
+  "CMakeFiles/bench_fig32_parray_local_remote.dir/bench/bench_fig32_parray_local_remote.cpp.o.d"
+  "bench_fig32_parray_local_remote"
+  "bench_fig32_parray_local_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig32_parray_local_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig33_parray_algorithms.dir/bench/bench_fig33_parray_algorithms.cpp.o"
+  "CMakeFiles/bench_fig33_parray_algorithms.dir/bench/bench_fig33_parray_algorithms.cpp.o.d"
+  "bench_fig33_parray_algorithms"
+  "bench_fig33_parray_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig33_parray_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig34_parray_memory.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig39_plist_methods.dir/bench/bench_fig39_plist_methods.cpp.o"
+  "CMakeFiles/bench_fig39_plist_methods.dir/bench/bench_fig39_plist_methods.cpp.o.d"
+  "bench_fig39_plist_methods"
+  "bench_fig39_plist_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig39_plist_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

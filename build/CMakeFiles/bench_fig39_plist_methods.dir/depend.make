@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig39_plist_methods.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig40_algos_array_vs_list.dir/bench/bench_fig40_algos_array_vs_list.cpp.o"
+  "CMakeFiles/bench_fig40_algos_array_vs_list.dir/bench/bench_fig40_algos_array_vs_list.cpp.o.d"
+  "bench_fig40_algos_array_vs_list"
+  "bench_fig40_algos_array_vs_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig40_algos_array_vs_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig40_algos_array_vs_list.
+# This may be replaced when dependencies are built.

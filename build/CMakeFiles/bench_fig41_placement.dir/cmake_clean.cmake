@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig41_placement.dir/bench/bench_fig41_placement.cpp.o"
+  "CMakeFiles/bench_fig41_placement.dir/bench/bench_fig41_placement.cpp.o.d"
+  "bench_fig41_placement"
+  "bench_fig41_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig41_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig42_list_vs_vector.dir/bench/bench_fig42_list_vs_vector.cpp.o"
+  "CMakeFiles/bench_fig42_list_vs_vector.dir/bench/bench_fig42_list_vs_vector.cpp.o.d"
+  "bench_fig42_list_vs_vector"
+  "bench_fig42_list_vs_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig42_list_vs_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig42_list_vs_vector.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig43_euler_tour.dir/bench/bench_fig43_euler_tour.cpp.o"
+  "CMakeFiles/bench_fig43_euler_tour.dir/bench/bench_fig43_euler_tour.cpp.o.d"
+  "bench_fig43_euler_tour"
+  "bench_fig43_euler_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig43_euler_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

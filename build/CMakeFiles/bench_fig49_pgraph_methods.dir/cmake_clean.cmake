@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig49_pgraph_methods.dir/bench/bench_fig49_pgraph_methods.cpp.o"
+  "CMakeFiles/bench_fig49_pgraph_methods.dir/bench/bench_fig49_pgraph_methods.cpp.o.d"
+  "bench_fig49_pgraph_methods"
+  "bench_fig49_pgraph_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig49_pgraph_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig51_find_sources.dir/bench/bench_fig51_find_sources.cpp.o"
+  "CMakeFiles/bench_fig51_find_sources.dir/bench/bench_fig51_find_sources.cpp.o.d"
+  "bench_fig51_find_sources"
+  "bench_fig51_find_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig51_find_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

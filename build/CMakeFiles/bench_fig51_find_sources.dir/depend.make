@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig51_find_sources.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig56_pagerank.dir/bench/bench_fig56_pagerank.cpp.o"
+  "CMakeFiles/bench_fig56_pagerank.dir/bench/bench_fig56_pagerank.cpp.o.d"
+  "bench_fig56_pagerank"
+  "bench_fig56_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig56_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

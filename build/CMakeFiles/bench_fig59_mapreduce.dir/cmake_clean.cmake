@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig59_mapreduce.dir/bench/bench_fig59_mapreduce.cpp.o"
+  "CMakeFiles/bench_fig59_mapreduce.dir/bench/bench_fig59_mapreduce.cpp.o.d"
+  "bench_fig59_mapreduce"
+  "bench_fig59_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig59_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

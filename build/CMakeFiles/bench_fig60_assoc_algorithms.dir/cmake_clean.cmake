@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig60_assoc_algorithms.dir/bench/bench_fig60_assoc_algorithms.cpp.o"
+  "CMakeFiles/bench_fig60_assoc_algorithms.dir/bench/bench_fig60_assoc_algorithms.cpp.o.d"
+  "bench_fig60_assoc_algorithms"
+  "bench_fig60_assoc_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig60_assoc_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig62_composition.dir/bench/bench_fig62_composition.cpp.o"
+  "CMakeFiles/bench_fig62_composition.dir/bench/bench_fig62_composition.cpp.o.d"
+  "bench_fig62_composition"
+  "bench_fig62_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig62_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

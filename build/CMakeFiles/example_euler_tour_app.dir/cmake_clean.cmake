@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_euler_tour_app.dir/examples/euler_tour_app.cpp.o"
+  "CMakeFiles/example_euler_tour_app.dir/examples/euler_tour_app.cpp.o.d"
+  "example_euler_tour_app"
+  "example_euler_tour_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_euler_tour_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

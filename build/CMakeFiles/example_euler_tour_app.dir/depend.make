@@ -1,0 +1,2 @@
+# Empty dependencies file for example_euler_tour_app.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_graph_analytics.dir/examples/graph_analytics.cpp.o"
+  "CMakeFiles/example_graph_analytics.dir/examples/graph_analytics.cpp.o.d"
+  "example_graph_analytics"
+  "example_graph_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_graph_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_heat_stencil.dir/examples/heat_stencil.cpp.o"
+  "CMakeFiles/example_heat_stencil.dir/examples/heat_stencil.cpp.o.d"
+  "example_heat_stencil"
+  "example_heat_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_heat_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

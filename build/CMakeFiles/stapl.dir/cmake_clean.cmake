@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stapl.dir/src/runtime/runtime.cpp.o"
+  "CMakeFiles/stapl.dir/src/runtime/runtime.cpp.o.d"
+  "libstapl.a"
+  "libstapl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stapl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_advanced.dir/tests/test_advanced.cpp.o"
+  "CMakeFiles/test_advanced.dir/tests/test_advanced.cpp.o.d"
+  "test_advanced"
+  "test_advanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_advanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

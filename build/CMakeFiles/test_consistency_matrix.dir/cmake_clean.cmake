@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consistency_matrix.dir/tests/test_consistency_matrix.cpp.o"
+  "CMakeFiles/test_consistency_matrix.dir/tests/test_consistency_matrix.cpp.o.d"
+  "test_consistency_matrix"
+  "test_consistency_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consistency_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p_array.dir/tests/test_p_array.cpp.o"
+  "CMakeFiles/test_p_array.dir/tests/test_p_array.cpp.o.d"
+  "test_p_array"
+  "test_p_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p_associative.dir/tests/test_p_associative.cpp.o"
+  "CMakeFiles/test_p_associative.dir/tests/test_p_associative.cpp.o.d"
+  "test_p_associative"
+  "test_p_associative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p_associative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p_graph.dir/tests/test_p_graph.cpp.o"
+  "CMakeFiles/test_p_graph.dir/tests/test_p_graph.cpp.o.d"
+  "test_p_graph"
+  "test_p_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p_list_vector.dir/tests/test_p_list_vector.cpp.o"
+  "CMakeFiles/test_p_list_vector.dir/tests/test_p_list_vector.cpp.o.d"
+  "test_p_list_vector"
+  "test_p_list_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p_list_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p_sort.dir/tests/test_p_sort.cpp.o"
+  "CMakeFiles/test_p_sort.dir/tests/test_p_sort.cpp.o.d"
+  "test_p_sort"
+  "test_p_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

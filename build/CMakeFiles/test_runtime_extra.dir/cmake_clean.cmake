@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_extra.dir/tests/test_runtime_extra.cpp.o"
+  "CMakeFiles/test_runtime_extra.dir/tests/test_runtime_extra.cpp.o.d"
+  "test_runtime_extra"
+  "test_runtime_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_views_algorithms.dir/tests/test_views_algorithms.cpp.o"
+  "CMakeFiles/test_views_algorithms.dir/tests/test_views_algorithms.cpp.o.d"
+  "test_views_algorithms"
+  "test_views_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_views_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[test_advanced]=] "/root/repo/build/test_advanced")
+set_tests_properties([=[test_advanced]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;33;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_consistency_matrix]=] "/root/repo/build/test_consistency_matrix")
+set_tests_properties([=[test_consistency_matrix]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;33;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_directory]=] "/root/repo/build/test_directory")
+set_tests_properties([=[test_directory]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;33;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_p_array]=] "/root/repo/build/test_p_array")
+set_tests_properties([=[test_p_array]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;33;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_p_associative]=] "/root/repo/build/test_p_associative")
+set_tests_properties([=[test_p_associative]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;33;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_p_graph]=] "/root/repo/build/test_p_graph")
+set_tests_properties([=[test_p_graph]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;33;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_p_list_vector]=] "/root/repo/build/test_p_list_vector")
+set_tests_properties([=[test_p_list_vector]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;33;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_p_sort]=] "/root/repo/build/test_p_sort")
+set_tests_properties([=[test_p_sort]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;33;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_runtime]=] "/root/repo/build/test_runtime")
+set_tests_properties([=[test_runtime]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;33;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_runtime_extra]=] "/root/repo/build/test_runtime_extra")
+set_tests_properties([=[test_runtime_extra]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;33;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_views_algorithms]=] "/root/repo/build/test_views_algorithms")
+set_tests_properties([=[test_views_algorithms]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;33;add_test;/root/repo/CMakeLists.txt;0;")
