@@ -10,8 +10,9 @@
 
 #include <atomic>
 
-int main()
+int main(int argc, char** argv)
 {
+  bench::init(argc, argv);
   using namespace stapl;
   std::size_t const ops = 20'000 * bench::scale();
 

@@ -8,8 +8,9 @@
 
 #include <atomic>
 
-int main()
+int main(int argc, char** argv)
 {
+  bench::init(argc, argv);
   using namespace stapl;
   std::printf("# Fig. 27 — pArray constructor time (seconds)\n");
   bench::table_header("p_array(n) constructor",

@@ -8,8 +8,9 @@
 
 #include <atomic>
 
-int main()
+int main(int argc, char** argv)
 {
+  bench::init(argc, argv);
   using namespace stapl;
   std::printf("# Fig. 28 — pArray local methods, Mops/s per location\n");
   bench::table_header(

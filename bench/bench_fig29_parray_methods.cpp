@@ -8,8 +8,9 @@
 
 #include <atomic>
 
-int main()
+int main(int argc, char** argv)
 {
+  bench::init(argc, argv);
   using namespace stapl;
   std::printf("# Fig. 29 — pArray methods over the whole index space\n");
   bench::table_header("methods vs input size (seconds)",

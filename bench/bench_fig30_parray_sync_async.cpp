@@ -9,8 +9,9 @@
 
 #include <atomic>
 
-int main()
+int main(int argc, char** argv)
 {
+  bench::init(argc, argv);
   using namespace stapl;
   std::printf("# Fig. 30 — set vs get vs split-phase (seconds for N ops)\n");
   bench::table_header("methods vs locations",

@@ -7,8 +7,9 @@
 
 #include <atomic>
 
-int main()
+int main(int argc, char** argv)
 {
+  bench::init(argc, argv);
   using namespace stapl;
   std::printf("# Fig. 32 — local vs remote invocations (P=4, seconds)\n");
   bench::table_header("size sweep", {"N", "local_set", "remote_set",

@@ -9,8 +9,9 @@
 
 #include <atomic>
 
-int main()
+int main(int argc, char** argv)
 {
+  bench::init(argc, argv);
   using namespace stapl;
   std::printf("# Fig. 33 — generic algorithms on pArray, weak scaling\n");
   bench::table_header("per-loc 200k elements (seconds)",

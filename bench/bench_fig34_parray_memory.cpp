@@ -9,8 +9,9 @@
 
 #include <atomic>
 
-int main()
+int main(int argc, char** argv)
 {
+  bench::init(argc, argv);
   using namespace stapl;
   std::printf("# Fig. 34 / Tables XXII-XXIII — pArray memory usage\n");
   bench::table_header("N=1M doubles, P=4",

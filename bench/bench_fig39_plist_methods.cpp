@@ -8,8 +8,9 @@
 
 #include <atomic>
 
-int main()
+int main(int argc, char** argv)
 {
+  bench::init(argc, argv);
   using namespace stapl;
   std::printf("# Fig. 39 — pList methods (seconds for N/P ops per loc)\n");
   bench::table_header("pList methods",

@@ -9,8 +9,9 @@
 
 #include <atomic>
 
-int main()
+int main(int argc, char** argv)
 {
+  bench::init(argc, argv);
   using namespace stapl;
   std::printf("# Fig. 40 — algorithms on pArray vs pList (seconds)\n");
   bench::table_header("per-loc 100k elements",

@@ -12,8 +12,9 @@
 
 #include <atomic>
 
-int main()
+int main(int argc, char** argv)
 {
+  bench::init(argc, argv);
   using namespace stapl;
   std::printf("# Fig. 41 — placement (modeled by aggregation factor)\n");
   bench::table_header("remote-heavy p_for_each pattern (seconds)",

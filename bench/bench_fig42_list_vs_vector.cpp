@@ -11,8 +11,9 @@
 #include <atomic>
 #include <random>
 
-int main()
+int main(int argc, char** argv)
 {
+  bench::init(argc, argv);
   using namespace stapl;
   std::printf("# Fig. 42 — pList vs pVector, operation mixes (P=4)\n");
   bench::table_header("mix sweep (seconds, 40k ops/loc)",

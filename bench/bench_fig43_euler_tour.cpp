@@ -8,8 +8,9 @@
 
 #include <atomic>
 
-int main()
+int main(int argc, char** argv)
 {
+  bench::init(argc, argv);
   using namespace stapl;
   std::printf("# Fig. 43 — Euler tour weak scaling\n");
   bench::table_header("per-loc vertices (seconds)",

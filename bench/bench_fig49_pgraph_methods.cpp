@@ -9,8 +9,9 @@
 
 #include <atomic>
 
-int main()
+int main(int argc, char** argv)
 {
+  bench::init(argc, argv);
   using namespace stapl;
   std::printf("# Figs. 49/50 — pGraph methods with SSCA2 input\n");
   bench::table_header("per-loc 2k vertices (seconds)",

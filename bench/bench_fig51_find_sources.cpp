@@ -10,8 +10,9 @@
 
 #include <atomic>
 
-int main()
+int main(int argc, char** argv)
 {
+  bench::init(argc, argv);
   using namespace stapl;
   std::printf("# Fig. 51 — find_sources vs address translation mode\n");
   bench::table_header("DAG layers x width (seconds)",

@@ -9,8 +9,9 @@
 
 #include <atomic>
 
-int main()
+int main(int argc, char** argv)
 {
+  bench::init(argc, argv);
   using namespace stapl;
   std::printf("# Fig. 52 — pGraph partitions: build + traversal\n");
   bench::table_header("SSCA2 4k/loc (seconds)",

@@ -10,8 +10,9 @@
 
 #include <atomic>
 
-int main()
+int main(int argc, char** argv)
 {
+  bench::init(argc, argv);
   using namespace stapl;
   std::printf("# Figs. 53/54/55 — pGraph algorithms\n");
   bench::table_header("mesh + ssca2 (seconds)",

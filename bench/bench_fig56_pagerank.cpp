@@ -12,8 +12,9 @@
 
 #include <atomic>
 
-int main()
+int main(int argc, char** argv)
 {
+  bench::init(argc, argv);
   using namespace stapl;
   std::printf("# Fig. 56 — PageRank: square vs elongated mesh\n");
   bench::table_header("20 iterations (seconds)",

@@ -43,8 +43,9 @@ std::string make_document(std::mt19937& gen, std::size_t words,
 
 } // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+  bench::init(argc, argv);
   using namespace stapl;
   std::printf("# Fig. 59 — MapReduce word count (Zipf corpus)\n");
   bench::table_header("40 docs x 500 words per loc (seconds)",

@@ -9,8 +9,9 @@
 
 #include <atomic>
 
-int main()
+int main(int argc, char** argv)
 {
+  bench::init(argc, argv);
   using namespace stapl;
   std::printf("# Fig. 60 — generic algorithms on associative containers\n");
   bench::table_header("per-loc 20k keys (seconds)",

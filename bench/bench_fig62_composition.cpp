@@ -12,8 +12,9 @@
 
 #include <atomic>
 
-int main()
+int main(int argc, char** argv)
 {
+  bench::init(argc, argv);
   using namespace stapl;
   std::printf("# Fig. 62 — row minima: pa<pa>, plist<pa>, pMatrix\n");
   bench::table_header("rows x 256 (seconds)",

@@ -1,0 +1,154 @@
+// Hot-element load balancer benchmark (no dissertation figure — new
+// subsystem, see core/load_balancer.hpp):
+//
+// A Zipf-skewed element-method workload hammers a p_array whose hottest
+// elements all start on location 0 (Zipf rank == GID, blocked partition),
+// so location 0 executes most of the traffic and the remaining locations
+// idle — the skewed-placement regime pSTL-Bench identifies as the
+// scalability killer.  One rebalance() wave migrates the tracked hot
+// elements across locations; the same workload is then measured again.
+//
+//   1. throughput table — apply_set Mops before vs after the wave; the
+//      after column must be measurably higher for P > 1 (acceptance);
+//   2. load-spread table — max/avg owner load: measured before, projected
+//      by the plan, and re-measured after, against the configured
+//      threshold.
+//
+// Run with --json to also write BENCH_rebalance.json.
+
+#include "bench_common.hpp"
+#include "containers/p_array.hpp"
+#include "core/load_balancer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+using namespace stapl;
+
+namespace {
+
+double const kThreshold = 1.30; ///< imbalance tolerated before migrating
+
+/// Zipf(s=1) sampler over [0, n): rank r is drawn with weight 1/(r+1),
+/// via inverse-CDF lookup driven by a per-location LCG (deterministic, no
+/// shared RNG state between locations).
+class zipf_sampler {
+ public:
+  explicit zipf_sampler(std::size_t n)
+  {
+    m_cdf.resize(n);
+    double sum = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      sum += 1.0 / static_cast<double>(r + 1);
+      m_cdf[r] = sum;
+    }
+    for (auto& c : m_cdf)
+      c /= sum;
+  }
+
+  [[nodiscard]] std::size_t operator()(std::uint64_t& state) const
+  {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    double const u =
+        static_cast<double>(state >> 11) * (1.0 / 9007199254740992.0);
+    return static_cast<std::size_t>(
+        std::lower_bound(m_cdf.begin(), m_cdf.end(), u) - m_cdf.begin());
+  }
+
+ private:
+  std::vector<double> m_cdf;
+};
+
+struct case_result {
+  double before_mops = 0, after_mops = 0;
+  double imb_before = 0, imb_projected = 0, imb_measured = 0;
+  std::size_t moves = 0;
+};
+
+case_result run_case(unsigned p)
+{
+  std::atomic<double> before{0}, after{0}, ib{0}, ip{0}, im{0};
+  std::atomic<std::size_t> moves{0};
+  execute(p, [&] {
+    std::size_t const n = 256 * num_locations();
+    std::size_t const accesses = 20000 * bench::scale(); // per location
+    p_array<long> pa(n, 0);
+
+    load_balancer_config cfg;
+    cfg.imbalance_threshold = kThreshold;
+    cfg.hot_k = 128;
+    pa.enable_load_balancing(cfg);
+
+    zipf_sampler const zipf(n); // rank==GID: hot set starts on location 0
+    auto workload = [&](std::uint64_t seed) {
+      std::uint64_t state = seed * 0x9E3779B97F4A7C15ull + this_location();
+      for (std::size_t i = 0; i < accesses; ++i)
+        pa.apply_set(zipf(state), [](long& v) { v += 1; });
+    };
+
+    double t = bench::timed_kernel([&] { workload(1); });
+    double const mops_before = bench::mops(accesses * num_locations(), t);
+
+    auto const rep = pa.rebalance();
+
+    t = bench::timed_kernel([&] { workload(2); });
+    double const mops_after = bench::mops(accesses * num_locations(), t);
+
+    // Re-measured spread: the post-wave epoch observed only phase-2 traffic.
+    auto const loads = allgather(pa.get_directory().epoch_accesses());
+
+    if (this_location() == 0) {
+      before.store(mops_before);
+      after.store(mops_after);
+      ib.store(rep.imbalance_before);
+      ip.store(rep.imbalance_after);
+      im.store(lb_detail::imbalance_of(loads));
+      moves.store(rep.moves);
+    }
+  });
+  return {before.load(), after.load(), ib.load(), ip.load(), im.load(),
+          moves.load()};
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+  bench::init(argc, argv, "rebalance");
+  std::printf("# Load balancer: Zipf-skewed apply_set throughput and load "
+              "spread, before/after one rebalance() wave\n");
+
+  std::vector<unsigned> const ps{2, 4, 8};
+  std::vector<case_result> results;
+  results.reserve(ps.size());
+  for (unsigned p : ps)
+    results.push_back(run_case(p));
+
+  bench::table_header("Zipf apply_set throughput (Mops, all locations)",
+                      {"locations", "before", "after", "speedup", "moves"});
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    auto const& r = results[i];
+    bench::cell(static_cast<std::size_t>(ps[i]));
+    bench::cell(r.before_mops);
+    bench::cell(r.after_mops);
+    bench::cell(r.before_mops > 0 ? r.after_mops / r.before_mops : 0.0);
+    bench::cell(r.moves);
+    bench::endrow();
+  }
+
+  bench::table_header(
+      "owner-load spread max/avg (threshold " + std::to_string(kThreshold) +
+          ")",
+      {"locations", "before", "projected", "measured"});
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    auto const& r = results[i];
+    bench::cell(static_cast<std::size_t>(ps[i]));
+    bench::cell(r.imb_before);
+    bench::cell(r.imb_projected);
+    bench::cell(r.imb_measured);
+    bench::endrow();
+  }
+  return 0;
+}

@@ -18,6 +18,15 @@
 //   pa.make_dynamic();                            // collective
 //   pa.migrate(3, 1);  rmi_fence();               // element 3 -> location 1
 //   pa.get_element(3);                            // routed via the directory
+//
+// Hot-element load balancing (core/load_balancer.hpp) builds on this:
+//   pa.enable_load_balancing({.imbalance_threshold = 1.25});  // collective
+//   ... skewed element-method traffic ...
+//   auto rep = pa.rebalance();     // hot elements spread over locations
+// or call pa.advance_epoch() from an iteration loop to rebalance
+// periodically.  Migrated-out slots of the contiguous bContainers stay
+// allocated (see extract_element below), so balancing trades that slack
+// space for method-routing throughput.
 
 #include <cstddef>
 #include <utility>

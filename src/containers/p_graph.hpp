@@ -19,6 +19,13 @@
 //
 // Vertex storage is customizable through the traits (Fig. 16): hashed map
 // storage for dynamic graphs or dense vector storage for static ones.
+//
+// Dynamic graphs are directory-backed from birth, so they opt straight into
+// hot-vertex load balancing (core/load_balancer.hpp):
+// enable_load_balancing() starts owner-side access tracking, and
+// rebalance()/advance_epoch() migrate the hottest vertices (property and
+// out-edge list, see the migration hooks below) off overloaded locations.
+// High-degree hub vertices of skewed graphs are the canonical case.
 
 #include <cassert>
 #include <cstddef>

@@ -21,9 +21,12 @@
 //   location_manager.hpp the bContainers of one location
 //   directory.hpp        distributed GID -> owner registry: home-location
 //                        records, per-location owner caches with
-//                        invalidation, request forwarding (invoke_where)
+//                        invalidation, request forwarding (invoke_where),
+//                        owner-side access tracking (bounded hot-GID sketch)
 //   migration.hpp        element-granularity handoff between bContainers,
 //                        driven through the directory
+//   load_balancer.hpp    epoch-based hot-element redistribution on top of
+//                        migrate(), driven by the directory's access stats
 //   thread_safety.hpp    Ch. VI locking managers + policy tables
 //   redistribution.hpp   whole-bContainer repartitioning
 //   composition.hpp      nested pContainer support
@@ -41,6 +44,7 @@
 
 #include "../runtime/runtime.hpp"
 #include "directory.hpp"
+#include "load_balancer.hpp"
 #include "location_manager.hpp"
 #include "mappers.hpp"
 #include "migration.hpp"
@@ -196,6 +200,52 @@ class p_container_base : public p_object {
     stapl::migrate(derived(), gid, dest);
   }
 
+  // -------------------------------------------------------------------------
+  // Load balancing (core/load_balancer.hpp): hot-element redistribution on
+  // top of migrate(), driven by the directory's owner-side access stats.
+  // -------------------------------------------------------------------------
+
+  /// Collective: switches to directory-backed resolution (if not already)
+  /// and starts tracking owner-side accesses, making the container eligible
+  /// for rebalance()/advance_epoch().
+  void enable_load_balancing(load_balancer_config cfg = {})
+  {
+    m_lb_cfg = cfg;
+    derived().make_dynamic(); // no-op fence when already dynamic
+    m_directory->enable_access_tracking(cfg.hot_k);
+    m_lb_enabled = true;
+    rmi_fence(); // tracking live everywhere before anyone measures
+  }
+
+  [[nodiscard]] bool load_balancing_enabled() const noexcept
+  {
+    return m_lb_enabled;
+  }
+  [[nodiscard]] load_balancer_config const& lb_config() const noexcept
+  {
+    return m_lb_cfg;
+  }
+
+  /// Collective: one rebalance wave (measure -> plan -> batched migrations);
+  /// see stapl::rebalance.  Every location returns the same report.
+  rebalance_report rebalance()
+  {
+    assert(m_lb_enabled && "rebalance(): enable_load_balancing() first");
+    return stapl::rebalance(derived(), m_lb_cfg);
+  }
+
+  /// Collective: marks the end of one computation epoch; runs a rebalance
+  /// wave every lb_config().epoch_interval epochs.  Returns the report when
+  /// a wave ran.  Call from the application's iteration loop.
+  std::optional<rebalance_report> advance_epoch()
+  {
+    m_lb_epoch += 1;
+    if (!m_lb_enabled || m_lb_cfg.epoch_interval == 0 ||
+        m_lb_epoch % m_lb_cfg.epoch_interval != 0)
+      return std::nullopt;
+    return rebalance();
+  }
+
   /// Framework-internal: drops the dynamic-resolution bookkeeping of an
   /// erased element (directory ownership + home record, overflow entries).
   /// Called by container erase methods at the owner; no-op when static.
@@ -307,6 +357,7 @@ class p_container_base : public p_object {
         dyn_guard guard(*this);
         if (m_directory->owns(gid)) {
           note_local_invocation();
+          m_directory->note_access(gid);
           ths_info ti{method, derived().dyn_local_bcid(gid)};
           m_ths.data_access_pre(ti);
           auto result = action(derived(), ti.bcid);
@@ -392,6 +443,7 @@ class p_container_base : public p_object {
       dyn_guard guard(*this);
       if (m_directory->owns(gid)) {
         note_local_invocation();
+        m_directory->note_access(gid);
         ths_info ti{method, derived().dyn_local_bcid(gid)};
         m_ths.data_access_pre(ti);
         action(derived(), ti.bcid);
@@ -416,6 +468,7 @@ class p_container_base : public p_object {
     {
       dyn_guard guard(*this);
       if (m_directory->owns(gid)) {
+        m_directory->note_access(gid);
         ths_info ti{method, derived().dyn_local_bcid(gid)};
         m_ths.data_access_pre(ti);
         st->value.emplace(action(derived(), ti.bcid));
@@ -444,13 +497,14 @@ class p_container_base : public p_object {
   {
     using payload_type = decltype(derived().extract_element(gid));
     std::optional<payload_type> payload;
+    std::uint32_t seq = 0;
     {
       dyn_guard guard(*this);
       if (m_directory->owns(gid)) {
         if (dest == get_location_id())
           return; // already here — a no-op only while we still own it
         payload.emplace(derived().extract_element(gid));
-        m_directory->migration_departed(gid, dest);
+        seq = m_directory->migration_departed(gid, dest);
       }
     }
     if (!payload) {
@@ -461,22 +515,25 @@ class p_container_base : public p_object {
       });
       return;
     }
+    // The payload travels with its hop number so the home can order this
+    // move's record update against updates of neighbouring hops.
     async_rmi<Derived>(dest, this->get_handle(),
-                       [gid, payload = std::move(*payload)](Derived& c) mutable {
-                         c.migrate_in(gid, std::move(payload));
+                       [gid, seq,
+                        payload = std::move(*payload)](Derived& c) mutable {
+                         c.migrate_in(gid, std::move(payload), seq + 1);
                        });
   }
 
   /// Destination-side step: stores the payload and takes ownership (the
   /// directory then updates the home record, invalidating stale caches).
   template <typename Payload>
-  void migrate_in(gid_type gid, Payload payload)
+  void migrate_in(gid_type gid, Payload payload, std::uint32_t seq)
   {
     {
       dyn_guard guard(*this);
       derived().insert_migrated(gid, std::move(payload));
     }
-    m_directory->migration_arrived(gid);
+    m_directory->migration_arrived(gid, seq);
   }
 
   /// Runs `f(container)` on every location of the container (one-sided
@@ -569,6 +626,10 @@ class p_container_base : public p_object {
   /// dynamic resolution — static containers stay directory-free.
   std::unique_ptr<directory_type> m_directory;
   bool m_dynamic = false;
+  /// Load-balancing state (enable_load_balancing / advance_epoch).
+  load_balancer_config m_lb_cfg;
+  bool m_lb_enabled = false;
+  std::uint64_t m_lb_epoch = 0;
   mutable std::recursive_mutex m_dyn_mutex;
   /// bCID of migrated-in elements that do not belong to a local bContainer
   /// per the closed-form partition (value == migrated_bcid when the element

@@ -14,7 +14,9 @@
 //   * m_owned    — the GIDs whose element currently lives on this location;
 //   * m_away     — forwarding hints left behind by outbound migrations
 //     (requests that still arrive here chase the hint, Ch. XI.F.2
-//     "dynamic with forwarding");
+//     "dynamic with forwarding"); bounded by home-driven reclamation:
+//     each record update retires the hints of all but the most recent
+//     former owner;
 //   * m_cache    — owner cache filled by cold home lookups and by the home
 //     piggybacking answers onto forwarded work; invalidated by the home
 //     when the owner record changes (migration, re-registration, erase).
@@ -30,6 +32,8 @@
 // per-representative mutex exists for the `direct` transport, where
 // handlers execute on caller threads (Ch. VI metadata locking).
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <functional>
@@ -56,6 +60,72 @@ struct directory_stats {
   std::uint64_t retries = 0;         ///< requests parked for in-flight metadata
   std::uint64_t migrations_in = 0;   ///< elements that arrived here
   std::uint64_t migrations_out = 0;  ///< elements that departed from here
+  std::uint64_t owner_accesses = 0;  ///< accesses executed here as owner
+  std::uint64_t hints_reclaimed = 0; ///< forwarding hints retired by the home
+};
+
+/// Bounded top-k frequency sketch (space-saving, Metwally et al.): at most
+/// `capacity` candidates are tracked; when full, the minimum-count candidate
+/// is evicted and its count is inherited by the newcomer as an error bound.
+/// Counts overestimate by at most the inherited error — exactly the guarantee
+/// a greedy migration planner needs: a candidate with a large tracked count
+/// is certainly hot, and the map can never grow past the configured capacity
+/// no matter how many distinct GIDs are accessed.
+template <typename GID, typename Hash = std::hash<GID>>
+class space_saving_tracker {
+ public:
+  struct entry {
+    std::uint64_t count = 0;  ///< estimated access count (upper bound)
+    std::uint64_t error = 0;  ///< maximum overestimation (inherited)
+  };
+
+  void set_capacity(std::size_t k) { m_capacity = k; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return m_capacity; }
+  [[nodiscard]] std::size_t size() const noexcept { return m_entries.size(); }
+
+  void note(GID const& g)
+  {
+    auto it = m_entries.find(g);
+    if (it != m_entries.end()) {
+      it->second.count += 1;
+      return;
+    }
+    if (m_entries.size() < m_capacity) {
+      m_entries.emplace(g, entry{1, 0});
+      return;
+    }
+    if (m_capacity == 0)
+      return;
+    // O(capacity) eviction scan: only on sketch misses, and the balancer
+    // uses small capacities (tens).  Swap in a stream-summary bucket list
+    // if hot_k ever grows to thousands.
+    auto victim = m_entries.begin();
+    for (auto e = m_entries.begin(); e != m_entries.end(); ++e)
+      if (e->second.count < victim->second.count)
+        victim = e;
+    entry const inherited{victim->second.count + 1, victim->second.count};
+    m_entries.erase(victim);
+    m_entries.emplace(g, inherited);
+  }
+
+  /// Tracked candidates with their count estimates, hottest first.
+  [[nodiscard]] std::vector<std::pair<GID, std::uint64_t>> top() const
+  {
+    std::vector<std::pair<GID, std::uint64_t>> out;
+    out.reserve(m_entries.size());
+    for (auto const& [g, e] : m_entries)
+      out.emplace_back(g, e.count);
+    std::sort(out.begin(), out.end(), [](auto const& a, auto const& b) {
+      return a.second > b.second;
+    });
+    return out;
+  }
+
+  void clear() { m_entries.clear(); }
+
+ private:
+  std::size_t m_capacity = 0;
+  std::unordered_map<GID, entry, Hash> m_entries;
 };
 
 /// Distributed GID -> owner-location directory.  One representative per
@@ -126,6 +196,78 @@ class directory : public p_object {
     m_cache.clear();
   }
 
+  /// Outstanding forwarding hints held on this location.  Home-driven
+  /// reclamation (see handle_record_owner) bounds this at one live hint per
+  /// migrating GID system-wide, however many times the element moves.
+  [[nodiscard]] std::size_t hint_count() const
+  {
+    std::lock_guard lock(m_mutex);
+    return m_away.size();
+  }
+
+  // -------------------------------------------------------------------------
+  // Access tracking (load-balancing support; see core/load_balancer.hpp)
+  // -------------------------------------------------------------------------
+
+  /// Starts counting owner-side element accesses into a per-epoch load
+  /// counter and a bounded hot-GID tracker of capacity `top_k`.  Intended to
+  /// be called collectively (same capacity everywhere) at a quiesce point.
+  void enable_access_tracking(std::size_t top_k)
+  {
+    std::lock_guard lock(m_mutex);
+    m_hot.set_capacity(top_k);
+    m_hot.clear();
+    m_epoch_accesses = 0;
+    m_track_accesses.store(true, std::memory_order_release);
+  }
+
+  void disable_access_tracking()
+  {
+    std::lock_guard lock(m_mutex);
+    m_track_accesses.store(false, std::memory_order_release);
+  }
+
+  [[nodiscard]] bool access_tracking_enabled() const noexcept
+  {
+    return m_track_accesses.load(std::memory_order_acquire);
+  }
+
+  /// Records one element access executed on this location as the owner.
+  /// Called by the container's dynamic dispatch; no-op unless tracking is
+  /// enabled, so undisturbed workloads pay a single atomic load.
+  void note_access(GID const& g)
+  {
+    if (!m_track_accesses.load(std::memory_order_relaxed))
+      return;
+    std::lock_guard lock(m_mutex);
+    m_epoch_accesses += 1;
+    m_stats.owner_accesses += 1;
+    m_hot.note(g);
+  }
+
+  /// Owner-side accesses recorded since the last reset_epoch().
+  [[nodiscard]] std::uint64_t epoch_accesses() const
+  {
+    std::lock_guard lock(m_mutex);
+    return m_epoch_accesses;
+  }
+
+  /// Tracked hot GIDs with space-saving count estimates, hottest first.
+  [[nodiscard]] std::vector<std::pair<GID, std::uint64_t>> hot_elements() const
+  {
+    std::lock_guard lock(m_mutex);
+    return m_hot.top();
+  }
+
+  /// Ends the measurement epoch: zeroes the load counter and the tracker so
+  /// the next epoch observes only fresh traffic.
+  void reset_epoch()
+  {
+    std::lock_guard lock(m_mutex);
+    m_epoch_accesses = 0;
+    m_hot.clear();
+  }
+
   // -------------------------------------------------------------------------
   // Registration (asynchronous; complete at the next rmi_fence)
   // -------------------------------------------------------------------------
@@ -139,6 +281,7 @@ class directory : public p_object {
   {
     std::lock_guard lock(m_mutex);
     m_owned.insert(g);
+    m_owned_seq.erase(g);
     m_away.erase(g);
     m_cache.erase(g);
   }
@@ -149,6 +292,7 @@ class directory : public p_object {
     {
       std::lock_guard lock(m_mutex);
       m_owned.insert(g);
+      m_owned_seq.erase(g); // a fresh incarnation restarts the hop chain
       m_away.erase(g);
     }
     update_home_record(g);
@@ -160,6 +304,7 @@ class directory : public p_object {
     {
       std::lock_guard lock(m_mutex);
       m_owned.erase(g);
+      m_owned_seq.erase(g);
       m_away.erase(g);
       m_cache.erase(g);
     }
@@ -259,28 +404,41 @@ class directory : public p_object {
 
   /// Owner-side step: the element of `g` has been extracted and is on its
   /// way to `dest`.  Leaves a forwarding hint so requests that still arrive
-  /// here chase the element.
-  void migration_departed(GID const& g, location_id dest)
+  /// here chase the element.  Returns the element's migration sequence
+  /// number — its position on the (linear) chain of ownership transfers —
+  /// which must be handed, incremented, to the destination's
+  /// migration_arrived so the home can order record updates that race each
+  /// other over different channels.
+  [[nodiscard]] std::uint32_t migration_departed(GID const& g,
+                                                 location_id dest)
   {
     std::lock_guard lock(m_mutex);
     m_owned.erase(g);
     m_away[g] = dest;
     m_stats.migrations_out += 1;
+    auto const it = m_owned_seq.find(g);
+    if (it == m_owned_seq.end())
+      return 0;
+    auto const s = it->second;
+    m_owned_seq.erase(it);
+    return s;
   }
 
   /// Destination-side step: the element of `g` has been stored locally.
   /// Takes ownership and updates the home record (asynchronously), which
-  /// invalidates stale caches.
-  void migration_arrived(GID const& g)
+  /// invalidates stale caches.  `seq` is the departure's sequence number
+  /// plus one.
+  void migration_arrived(GID const& g, std::uint32_t seq)
   {
     {
       std::lock_guard lock(m_mutex);
       m_owned.insert(g);
+      m_owned_seq[g] = seq;
       m_away.erase(g);
       m_cache.erase(g);
       m_stats.migrations_in += 1;
     }
-    update_home_record(g);
+    update_home_record(g, seq);
   }
 
   // -------------------------------------------------------------------------
@@ -293,18 +451,70 @@ class directory : public p_object {
   /// Invalidations are issued while the record lock is held, so they
   /// serialize against the cache updates of concurrent lookups: a cache
   /// can never end up holding an owner the home has already replaced.
-  void handle_record_owner(GID const& g, location_id owner)
+  ///
+  /// Updates carry the element's migration sequence number, because they
+  /// arrive over per-sender channels that do not order hops of the same
+  /// element against each other: a straggler from hop k must not overwrite
+  /// the record of hop k+1 — a regressed record would route new work at a
+  /// location whose hint the reclamation below may already have retired.
+  /// Stale updates are dropped (seq <= rec.seq); `seq == 0` marks an
+  /// explicit registration, which always supersedes the current record.
+  ///
+  /// Home-driven hint reclamation: once the record names a new owner, only
+  /// the hint at the location that just departed is still on a fast path
+  /// (the one-hop chase for requests already heading there).  Hints at
+  /// older former owners are only reachable through knowledge this update
+  /// invalidates, and a hint-less stale location falls back to
+  /// park-and-re-route through this never-regressing record — so retiring
+  /// them is safe and keeps m_away bounded at one live hint per migrating
+  /// GID instead of growing with the migration history.
+  void handle_record_owner(GID const& g, location_id owner,
+                           std::uint32_t seq = 0)
   {
     std::lock_guard lock(m_mutex);
     auto& rec = m_registry[g];
+    if (seq == 0) {
+      // Explicit registration: a fresh incarnation of the GID, starting a
+      // new sequence space (incarnations are separated by a fence, like
+      // any erase/re-insert flow).  Its migrations resume from seq 1.
+      rec.seq = 0;
+    } else if (seq <= rec.seq) {
+      // Straggler of an already-superseded hop.  Its sender's ownership
+      // era is provably over, so its forwarding hint — which the era that
+      // won the race never learned about — is retired here instead of
+      // leaking forever.
+      if (owner != rec.owner)
+        reclaim_hint_locked(g, owner);
+      return;
+    } else {
+      rec.seq = seq;
+    }
     if (rec.owner != owner) {
       std::vector<location_id> stale;
       stale.swap(rec.copyset);
       invalidate_copies_locked(g, owner, stale);
-      if (rec.owner != invalid_location)
-        remember_former(rec, rec.owner);
+      location_id prev = rec.owner;
+      if (prev == invalid_location && m_default_owner) {
+        // First update the home ever sees: the element departed a seeded
+        // owner (make_dynamic) that never registered.  Its hint lives at
+        // the closed-form location, which therefore counts as the
+        // previous owner for reclamation purposes.
+        location_id const def = m_default_owner(g);
+        if (def != owner)
+          prev = def;
+      }
+      std::vector<location_id> reclaim;
+      reclaim.swap(rec.former);
+      if (prev != invalid_location)
+        rec.former.push_back(prev);
+      for (location_id l : reclaim) {
+        if (l == prev || l == owner)
+          continue; // prev keeps its fresh hint; the new owner holds none
+        reclaim_hint_locked(g, l);
+      }
     }
     rec.owner = owner;
+    rec.synthesized = false; // a real owner registered: adoption is over
   }
 
   /// At the home: erases the record of `g` and invalidates all copies.
@@ -341,7 +551,10 @@ class directory : public p_object {
     if (it == m_registry.end()) {
       if (!m_default_owner)
         return invalid_location;
-      it = m_registry.emplace(g, home_record{m_default_owner(g)}).first;
+      home_record rec;
+      rec.owner = m_default_owner(g);
+      rec.synthesized = true;
+      it = m_registry.emplace(g, std::move(rec)).first;
     }
     location_id const owner = it->second.owner;
     if (requester != invalid_location && requester != owner &&
@@ -370,13 +583,17 @@ class directory : public p_object {
 
   /// At a presumed owner: executes `f` if the element is here, chases the
   /// forwarding hint if the element left, and otherwise adopts the GID
-  /// when the home's current record designates this location.  Adoption is
-  /// safe exactly then: ownership and hints swap atomically, so a
-  /// designated location with neither holds no live element anywhere —
-  /// either a never-recorded fresh GID or a deleted incarnation (whose
-  /// stale hints the home clears via its former-owner list).  A request
-  /// that finds this location stale tells the requester to drop its cache
-  /// entry, so the next access resolves fresh instead of re-bouncing here.
+  /// when `designated` — i.e. the home's current record is *synthesized*
+  /// from the default-owner function and names this location.  Adoption is
+  /// safe exactly then: no registration or migration ever produced the
+  /// record, so no live element exists anywhere and this location is the
+  /// GID's rightful closed-form creator.  For registered records the
+  /// empty state is always a transient race (record update, hint
+  /// reclamation or migration payload still in flight), so the request
+  /// parks and re-routes instead — adopting would fork ownership.  A
+  /// request that finds this location stale tells the requester to drop
+  /// its cache entry, so the next access resolves fresh instead of
+  /// re-bouncing here.
   void handle_forward_exec(GID g, work_item f, bool designated,
                            location_id requester)
   {
@@ -434,9 +651,34 @@ class directory : public p_object {
     m_away.erase(g);
   }
 
+  /// The home retired this location's forwarding hint for `g` (a newer
+  /// owner record supersedes it; see handle_record_owner).
+  void handle_reclaim_hint(GID const& g)
+  {
+    std::lock_guard lock(m_mutex);
+    if (m_away.erase(g) != 0)
+      m_stats.hints_reclaimed += 1;
+  }
+
  private:
   struct home_record {
     location_id owner = invalid_location;
+    /// Position of `owner` on the element's chain of ownership transfers.
+    /// Updates whose seq does not advance this are stragglers of
+    /// superseded hops and are dropped, so the record never regresses
+    /// (the per-sender channels do not order different hops of the same
+    /// element against each other).
+    std::uint32_t seq = 0;
+    /// True when the record was materialized lazily from the default-owner
+    /// function instead of an explicit registration.  Only such records
+    /// confer the *adopt* privilege on forwarded work: their owner may
+    /// legitimately hold neither element nor hint (a fresh GID the
+    /// container creates on first touch).  A registered/migrated owner
+    /// always holds one or the other, so an empty designated location is a
+    /// transient race (e.g. a reclaimed hint outrunning the next record
+    /// update) and must park instead of adopting — adoption there would
+    /// fork ownership.
+    bool synthesized = false;
     /// Locations whose cache holds this record's answer.
     std::vector<location_id> copyset;
     /// Former owners (they hold forwarding hints for this GID); their
@@ -446,18 +688,18 @@ class directory : public p_object {
   };
 
   /// Points `g`'s home record at this location (registration and
-  /// migration-arrival share this step).
-  void update_home_record(GID const& g)
+  /// migration-arrival share this step; seq 0 marks a registration).
+  void update_home_record(GID const& g, std::uint32_t seq = 0)
   {
     location_id const home = home_of(g);
     location_id const owner = get_location_id();
     if (home == owner) {
-      handle_record_owner(g, owner);
+      handle_record_owner(g, owner, seq);
       return;
     }
     async_rmi<directory>(home, this->get_handle(),
-                         [g, owner](directory& d) {
-                           d.handle_record_owner(g, owner);
+                         [g, owner, seq](directory& d) {
+                           d.handle_record_owner(g, owner, seq);
                          });
   }
 
@@ -469,12 +711,20 @@ class directory : public p_object {
     rec.copyset.push_back(requester);
   }
 
-  static void remember_former(home_record& rec, location_id loc)
+  /// Requires m_mutex held.  Retires the forwarding hint for `g` at `l`
+  /// (locally, or via a queued message — never inline, same deadlock
+  /// argument as invalidate_copies_locked).
+  void reclaim_hint_locked(GID const& g, location_id l)
   {
-    for (location_id l : rec.former)
-      if (l == loc)
-        return;
-    rec.former.push_back(loc);
+    if (l == invalid_location)
+      return;
+    if (l == get_location_id()) {
+      if (m_away.erase(g) != 0)
+        m_stats.hints_reclaimed += 1;
+      return;
+    }
+    queued_rmi<directory>(l, this->get_handle(),
+                          [g](directory& d) { d.handle_reclaim_hint(g); });
   }
 
   /// Requires m_mutex held.  Sends are queued, never inline: an inline
@@ -581,15 +831,20 @@ class directory : public p_object {
                                     work_item& f)
   {
     location_id owner;
+    bool adoptable = false;
     {
       std::lock_guard lock(m_mutex);
       auto it = m_registry.find(g);
       if (it == m_registry.end()) {
         if (!m_default_owner)
           return false; // registration still in flight: park
-        it = m_registry.emplace(g, home_record{m_default_owner(g)}).first;
+        home_record rec;
+        rec.owner = m_default_owner(g);
+        rec.synthesized = true;
+        it = m_registry.emplace(g, std::move(rec)).first;
       }
       owner = it->second.owner;
+      adoptable = it->second.synthesized;
       if (requester != invalid_location && requester != owner &&
           requester != get_location_id()) {
         // Piggyback the answer so the requester's next access skips the
@@ -603,9 +858,11 @@ class directory : public p_object {
       }
     }
     if (owner != get_location_id()) {
-      // The forward carries designation: the record currently names the
-      // target, entitling it to adopt if it holds neither element nor hint.
-      send_forward(owner, g, std::move(f), true, requester);
+      // The forward carries the adopt privilege only for synthesized
+      // records: their designated owner may legitimately hold neither
+      // element nor hint (fresh GID).  A registered owner found empty is a
+      // transient race and must park instead (see home_record).
+      send_forward(owner, g, std::move(f), adoptable, requester);
       return true;
     }
     // The record points at the home itself: same rules, applied locally.
@@ -625,7 +882,9 @@ class directory : public p_object {
         send_forward(next, g, std::move(f), false, requester);
         return true;
       }
-      m_owned.insert(g); // designated with no element or hint: adopt
+      if (!adoptable)
+        return false; // record outran an in-flight move: park and retry
+      m_owned.insert(g); // synthesized record with no element/hint: adopt
       lock.unlock();
       work_item body = std::move(f);
       body(get_location_id());
@@ -687,9 +946,18 @@ class directory : public p_object {
   mutable std::mutex m_mutex;
   std::unordered_map<GID, home_record, Hash> m_registry;
   std::unordered_set<GID, Hash> m_owned;
+  /// Migration sequence number of locally owned elements that have moved
+  /// at least once (absent == 0): travels with the element and orders the
+  /// home's record updates.  One entry per live migrated element, dropped
+  /// on departure/erase — not a per-history map.
+  std::unordered_map<GID, std::uint32_t, Hash> m_owned_seq;
   std::unordered_map<GID, location_id, Hash> m_away;
   std::unordered_map<GID, location_id, Hash> m_cache;
   directory_stats m_stats;
+  /// Load-balancing support: owner-side access counting (note_access).
+  std::atomic<bool> m_track_accesses{false};
+  std::uint64_t m_epoch_accesses = 0;
+  space_saving_tracker<GID, Hash> m_hot;
 };
 
 } // namespace stapl
