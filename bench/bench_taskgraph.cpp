@@ -1,0 +1,162 @@
+// Task-graph executor benchmark (no dissertation figure — new subsystem,
+// see runtime/task_graph.hpp):
+//
+// An imbalanced workload of Zipf-sized chunk tasks — chunk rank r carries
+// ~1/(r+1) of the work, and the whole Zipf head starts on location 0 (the
+// same adversarial placement regime as bench_rebalance).  Each chunk
+// simulates a latency-bound task (a calibrated sleep per work unit,
+// modeling remote-fetch/IO-dominated chunks), so chunks overlap across
+// locations regardless of the host's core count.
+//
+//   1. steal recovery table — wall time with stealing disabled (static
+//      per-location scheduling: the loaded location serializes its Zipf
+//      head while the rest idle) versus enabled (idle locations pull the
+//      head's chunks over), plus the executor's steal counters.  The
+//      `recovery` column is static/steal throughput: acceptance wants
+//      >= 1.3x for P > 1;
+//   2. balanced guard table — the same total work in equal chunks: with no
+//      imbalance the steal path must cost ~nothing (ratio ~1.0), showing
+//      the scheduler does not tax well-balanced pAlgorithms.
+//
+// Run with --json to also write BENCH_taskgraph.json.
+
+#include "bench_common.hpp"
+#include "runtime/task_graph.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+using namespace stapl;
+
+namespace {
+
+std::chrono::microseconds const kUnit{200}; ///< latency per work unit
+
+/// Work units of `chunks` Zipf(s=1)-sized chunks totalling ~`total`.
+std::vector<std::size_t> zipf_sizes(std::size_t chunks, std::size_t total)
+{
+  double h = 0.0;
+  for (std::size_t r = 0; r < chunks; ++r)
+    h += 1.0 / static_cast<double>(r + 1);
+  std::vector<std::size_t> sizes(chunks);
+  for (std::size_t r = 0; r < chunks; ++r) {
+    double const w = static_cast<double>(total) / h /
+                     static_cast<double>(r + 1);
+    sizes[r] = static_cast<std::size_t>(w) + 1;
+  }
+  return sizes;
+}
+
+struct sched_result {
+  double seconds = 0.0;
+  std::uint64_t stolen = 0;
+  std::uint64_t steal_fail = 0;
+};
+
+/// Runs one graph of latency-bound chunk tasks with the given owner per
+/// chunk; returns wall seconds (max over locations) and steal counters.
+sched_result run_chunks(std::vector<std::size_t> const& sizes,
+                        std::vector<location_id> const& owner, bool steal)
+{
+  sched_result res;
+  task_graph<char> tg;
+  tg.set_stealing(steal);
+  task_options stealable;
+  stealable.stealable = true;
+  for (std::size_t r = 0; r < sizes.size(); ++r) {
+    std::size_t const units = sizes[r];
+    tg.add_task(
+        owner[r],
+        [units](std::vector<char> const&, char const&) {
+          // One latency unit at a time, polling in between — like a real
+          // latency-bound chunk whose remote reads drive the RMI layer, so
+          // a loaded location keeps granting steals mid-chunk.
+          for (std::size_t u = 0; u < units; ++u) {
+            std::this_thread::sleep_for(kUnit);
+            rmi_poll();
+          }
+          return char{};
+        },
+        {}, stealable);
+  }
+  res.seconds = bench::timed_kernel([&] { tg.execute(); });
+  auto const stats = tg.global_stats();
+  res.stolen = stats.tasks_stolen;
+  res.steal_fail = stats.steal_fail;
+  return res;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+  bench::init(argc, argv);
+  std::printf("# Task-graph executor — work stealing on imbalanced "
+              "(Zipf-sized) chunks\n");
+
+  std::size_t const chunks = 32;
+  std::size_t const total_units = 1200 * bench::scale();
+
+  bench::table_header("Zipf head on location 0 (steal recovery)",
+                      {"locations", "static_s", "steal_s", "recovery",
+                       "stolen", "steal_fail"});
+  for (unsigned p : {2u, 4u, 8u}) {
+    std::atomic<double> ts{0}, tw{0};
+    std::atomic<std::uint64_t> stolen{0}, fail{0};
+    execute(p, [&] {
+      auto const sizes = zipf_sizes(chunks, total_units);
+      // Block deal: ranks 0..C/P-1 (the Zipf head) land on location 0.
+      std::vector<location_id> owner(chunks);
+      std::size_t const per = chunks / num_locations();
+      for (std::size_t r = 0; r < chunks; ++r)
+        owner[r] = static_cast<location_id>(
+            std::min<std::size_t>(r / per, num_locations() - 1));
+
+      auto const stat = run_chunks(sizes, owner, false);
+      auto const dyn = run_chunks(sizes, owner, true);
+      if (this_location() == 0) {
+        ts.store(stat.seconds);
+        tw.store(dyn.seconds);
+        stolen.store(dyn.stolen);
+        fail.store(dyn.steal_fail);
+      }
+    });
+    bench::cell(static_cast<std::size_t>(p));
+    bench::cell(ts.load());
+    bench::cell(tw.load());
+    bench::cell(tw.load() > 0 ? ts.load() / tw.load() : 0.0);
+    bench::cell(static_cast<std::size_t>(stolen.load()));
+    bench::cell(static_cast<std::size_t>(fail.load()));
+    bench::endrow();
+  }
+
+  bench::table_header("balanced chunks (scheduler overhead guard)",
+                      {"locations", "static_s", "steal_s", "ratio"});
+  for (unsigned p : bench::default_locations) {
+    std::atomic<double> ts{0}, tw{0};
+    execute(p, [&] {
+      std::size_t const balanced_chunks = 8 * num_locations();
+      std::vector<std::size_t> sizes(balanced_chunks,
+                                     total_units / balanced_chunks + 1);
+      std::vector<location_id> owner(balanced_chunks);
+      for (std::size_t r = 0; r < balanced_chunks; ++r)
+        owner[r] = static_cast<location_id>(r % num_locations());
+      auto const stat = run_chunks(sizes, owner, false);
+      auto const dyn = run_chunks(sizes, owner, true);
+      if (this_location() == 0) {
+        ts.store(stat.seconds);
+        tw.store(dyn.seconds);
+      }
+    });
+    bench::cell(static_cast<std::size_t>(p));
+    bench::cell(ts.load());
+    bench::cell(tw.load());
+    bench::cell(tw.load() > 0 ? ts.load() / tw.load() : 0.0);
+    bench::endrow();
+  }
+  return 0;
+}

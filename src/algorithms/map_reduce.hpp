@@ -4,11 +4,16 @@
 // MapReduce over pViews into associative pContainers (dissertation
 // Ch. XII.C.1, Fig. 59: counting word occurrences across a corpus).
 //
-// Each location maps its local elements to (key, value) pairs, pre-combines
-// them in a location-local table (the classic combiner optimization), and
-// flushes the combined pairs into a distributed pHashMap with asynchronous
-// accumulate-updates.  The shuffle is therefore one asynchronous RMI per
-// distinct (location, key) rather than per emitted pair.
+// The map phase runs as chunk tasks on the task-graph executor
+// (runtime/task_graph.hpp): each chunk maps its elements to (key, value)
+// pairs and pre-combines them in a location-local table (the classic
+// combiner optimization) — one table per location, shared by all of that
+// location's chunk tasks, and by any chunk a thief runs on its own
+// replica, so stealing redistributes combine work without changing the
+// result.  After the map graph drains, each location flushes its combined
+// pairs into the distributed pHashMap with asynchronous
+// accumulate-updates: the shuffle is one asynchronous RMI per distinct
+// (location, key) rather than per emitted pair.
 
 #include <cstddef>
 #include <unordered_map>
@@ -17,12 +22,14 @@
 
 #include "../containers/p_associative.hpp"
 #include "../runtime/runtime.hpp"
+#include "../runtime/task_graph.hpp"
 
 namespace stapl {
 
 /// options for map_reduce_into
 struct map_reduce_options {
   bool use_combiner = true; ///< pre-combine locally before the shuffle
+  exec_policy policy = {};  ///< chunking/stealing of the map phase
 };
 
 /// Runs MapReduce: for every element of `view`, `mapper(element, emit)` may
@@ -34,25 +41,35 @@ void map_reduce_into(View view, Mapper mapper, Reducer reducer,
                      p_hash_map<K, V, Hash>& out,
                      map_reduce_options opts = {})
 {
-  auto flush = [&](K const& k, V const& v) {
+  auto flush = [&out, reducer](K const& k, V const& v) {
     out.apply_async(k, [v, reducer](V& cur) { cur = reducer(cur, v); });
   };
+  auto shared_mapper = std::make_shared<Mapper>(std::move(mapper));
 
   if (opts.use_combiner) {
+    // One combiner table per location (chunk tasks executing here — owned
+    // or stolen — all fold into it; it is flushed below once the map graph
+    // has drained everywhere).
     std::unordered_map<K, V, Hash> combined;
-    auto emit = [&](K k, V v) {
-      auto [it, inserted] = combined.emplace(std::move(k), v);
-      if (!inserted)
-        it->second = reducer(it->second, v);
-    };
-    for (auto g : view.local_gids())
-      mapper(view.read(g), emit);
+    tg_detail::chunked_for_each_gid(
+        view, opts.policy,
+        [shared_mapper, view, &combined,
+         reducer](typename View::gid_type g) mutable {
+          (*shared_mapper)(view.read(g), [&](K k, V v) {
+            auto [it, inserted] = combined.emplace(std::move(k), v);
+            if (!inserted)
+              it->second = reducer(it->second, v);
+          });
+        });
     for (auto const& [k, v] : combined)
       flush(k, v);
   } else {
-    auto emit = [&](K k, V v) { flush(k, v); };
-    for (auto g : view.local_gids())
-      mapper(view.read(g), emit);
+    tg_detail::chunked_for_each_gid(
+        view, opts.policy,
+        [shared_mapper, view, flush](typename View::gid_type g) mutable {
+          (*shared_mapper)(view.read(g),
+                           [&](K k, V v) { flush(k, v); });
+        });
   }
   rmi_fence();
 }

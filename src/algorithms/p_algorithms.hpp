@@ -1,25 +1,32 @@
 #ifndef STAPL_ALGORITHMS_P_ALGORITHMS_HPP
 #define STAPL_ALGORITHMS_P_ALGORITHMS_HPP
 
-// Generic pAlgorithms (dissertation Ch. III, VIII.C).
+// Generic pAlgorithms (dissertation Ch. III, VIII.C), expressed as
+// task-graph factories (runtime/task_graph.hpp).
 //
-// pAlgorithms are SPMD collectives written against the view concept of
-// views.hpp: every location processes the bView assigned to it (its
-// `local_gids`), taking the direct-reference fast path when the element is
-// local (native/aligned views) and the shared-object read/write path
-// otherwise.  Every algorithm ends with an rmi_fence and the views'
-// post_execute hook, implementing the automatic synchronization-point
-// insertion of Ch. VII.H.
+// Every algorithm coarsens its view into chunk tasks — many per location,
+// granularity from exec_policy/default_grain — and runs them on the
+// distributed executor.  Element access takes the direct-reference fast
+// path when local (native/aligned views) and the shared-object
+// read/write path otherwise, so chunk tasks are location-transparent:
+// opting a chunk into stealing (exec_policy::stealable) changes where it
+// runs, never what it computes.  Reductions and scans chain partial
+// results through value-carrying dependence edges instead of
+// allgather+fence rounds.  Every algorithm still ends at a fence (inside
+// task_graph::execute) and the views' post_execute hook, implementing the
+// automatic synchronization-point insertion of Ch. VII.H.
 
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "../runtime/runtime.hpp"
+#include "../runtime/task_graph.hpp"
 #include "../views/views.hpp"
 
 namespace stapl {
@@ -48,47 +55,29 @@ void apply_element(View& v, typename View::gid_type g, F& f)
     v.write(g, std::move(x));
 }
 
-/// Folds all locations' optional partial results in location order.
-template <typename T, typename Op>
-[[nodiscard]] std::optional<T> combine_partials(std::optional<T> const& local,
-                                                Op op)
-{
-  auto const partials = allgather(std::pair<T, bool>(
-      local.value_or(T{}), local.has_value()));
-  std::optional<T> out;
-  for (auto const& [value, present] : partials) {
-    if (!present)
-      continue;
-    out = out ? op(*out, value) : value;
-  }
-  return out;
-}
-
 } // namespace algo_detail
 
 // ---------------------------------------------------------------------------
-// Mutating map patterns
+// Mutating map patterns (chunked map_func factories)
 // ---------------------------------------------------------------------------
 
 /// Applies `wf` to every element of the view.  Collective.
 template <typename View, typename WF>
-void p_for_each(View v, WF wf)
+void p_for_each(View v, WF wf, exec_policy pol = {})
 {
-  for (auto g : v.local_gids())
-    algo_detail::apply_element(v, g, wf);
-  rmi_fence();
-  v.post_execute();
+  map_func(std::move(wf), std::move(v), pol);
 }
 
 /// Applies `wf(gid, element&)` to every element.  Collective.
 template <typename View, typename WF>
-void p_for_each_gid(View v, WF wf)
+void p_for_each_gid(View v, WF wf, exec_policy pol = {})
 {
-  for (auto g : v.local_gids()) {
-    auto f = [&](auto& x) { wf(g, x); };
-    algo_detail::apply_element(v, g, f);
-  }
-  rmi_fence();
+  auto shared_wf = std::make_shared<WF>(std::move(wf));
+  tg_detail::chunked_for_each_gid(
+      v, pol, [shared_wf, v](typename View::gid_type g) mutable {
+        auto f = [&](auto& x) { (*shared_wf)(g, x); };
+        algo_detail::apply_element(v, g, f);
+      });
   v.post_execute();
 }
 
@@ -111,12 +100,13 @@ void p_fill(View v, T value)
 /// out[g] = op(in[g]) for every g; distributions should be aligned for
 /// performance.  Collective.
 template <typename InView, typename OutView, typename Op>
-void p_transform(InView in, OutView out, Op op)
+void p_transform(InView in, OutView out, Op op, exec_policy pol = {})
 {
   assert(in.size() == out.size());
-  for (auto g : in.local_gids())
-    out.write(g, op(in.read(g)));
-  rmi_fence();
+  tg_detail::chunked_for_each_gid(
+      in, pol, [in, out, op](typename InView::gid_type g) mutable {
+        out.write(g, op(in.read(g)));
+      });
   out.post_execute();
 }
 
@@ -129,22 +119,18 @@ void p_copy(InView in, OutView out)
 }
 
 // ---------------------------------------------------------------------------
-// Reductions (map_reduce pattern, Ch. VIII.C)
+// Reductions (tree_reduce factory, Ch. VIII.C)
 // ---------------------------------------------------------------------------
 
-/// Generic map-reduce over a view: reduces map(element) over all elements.
-/// Returns nullopt for empty views.  Collective.
+/// Generic map-reduce over a view: reduces map(element) over all elements
+/// through a dependence tree of chunk partials (no intermediate fences).
+/// `redf` must be associative.  Returns nullopt for empty views.
+/// Collective.
 template <typename View, typename Map, typename Reduce>
-[[nodiscard]] auto map_reduce(View v, Map mapf, Reduce redf)
-    -> std::optional<decltype(mapf(v.read(typename View::gid_type{})))>
+[[nodiscard]] auto map_reduce(View v, Map mapf, Reduce redf,
+                              exec_policy pol = {})
 {
-  using T = decltype(mapf(v.read(typename View::gid_type{})));
-  std::optional<T> local;
-  for (auto g : v.local_gids()) {
-    T mapped = mapf(v.read(g));
-    local = local ? redf(*local, std::move(mapped)) : std::move(mapped);
-  }
-  return algo_detail::combine_partials(local, redf);
+  return tree_reduce(std::move(v), std::move(mapf), std::move(redf), pol);
 }
 
 /// Sum (or op-fold) of all elements plus init.  Collective.
@@ -184,12 +170,13 @@ template <typename View, typename Pred>
 template <typename View, typename Pred>
 [[nodiscard]] gid1d p_find_if(View v, Pred pred)
 {
-  gid1d local = invalid_gid;
-  for (auto g : v.local_gids())
-    if (pred(v.read(g))) {
-      local = std::min(local, static_cast<gid1d>(g));
-    }
-  return allreduce(local, [](gid1d a, gid1d b) { return std::min(a, b); });
+  auto first = map_reduce(
+      std::move(v),
+      [pred](typename View::gid_type g, auto const& x) {
+        return pred(x) ? static_cast<gid1d>(g) : invalid_gid;
+      },
+      [](gid1d a, gid1d b) { return std::min(a, b); });
+  return first.value_or(invalid_gid);
 }
 
 template <typename View, typename T>
@@ -206,15 +193,12 @@ template <typename View, typename Compare = std::less<>>
                                typename View::value_type>>
 {
   using P = std::pair<typename View::gid_type, typename View::value_type>;
-  std::optional<P> local;
-  for (auto g : v.local_gids()) {
-    auto x = v.read(g);
-    if (!local || cmp(x, local->second) ||
-        (!cmp(local->second, x) && g < local->first))
-      local = P(g, std::move(x));
-  }
-  return algo_detail::combine_partials(
-      local, [&cmp](P const& a, P const& b) {
+  return map_reduce(
+      std::move(v),
+      [](typename View::gid_type g, typename View::value_type x) {
+        return P(g, std::move(x));
+      },
+      [cmp](P const& a, P const& b) {
         if (cmp(b.second, a.second))
           return b;
         if (cmp(a.second, b.second))
@@ -236,83 +220,100 @@ template <typename V1, typename V2, typename T>
 [[nodiscard]] T p_inner_product(V1 a, V2 b, T init)
 {
   assert(a.size() == b.size());
-  T local{};
-  bool any = false;
-  for (auto g : a.local_gids()) {
-    local = local + T(a.read(g)) * T(b.read(g));
-    any = true;
-  }
-  auto total = algo_detail::combine_partials(
-      any ? std::optional<T>(local) : std::nullopt, std::plus<>{});
+  auto total = map_reduce(
+      std::move(a),
+      [b](typename V1::gid_type g, auto const& x) mutable {
+        return T(x) * T(b.read(g));
+      },
+      std::plus<>{});
   return total ? init + *total : init;
 }
 
 // ---------------------------------------------------------------------------
-// Prefix sums (Ch. III: "pAlgorithms for important parallel techniques")
+// Prefix sums (scan factory: per-block folds chained through value edges)
 // ---------------------------------------------------------------------------
 
 /// Inclusive prefix sum over a contiguously partitioned indexed container:
-/// out[i] = op(in[0], ..., in[i]).  Three phases: local bContainer scans, an
-/// exclusive scan of block sums across bCIDs, then a local rescan.
+/// out[i] = op(in[0], ..., in[i]).  Three task flavors per bCID — block
+/// fold, running-total chain, offset rescan — wired by value-carrying
+/// dependences, so no block-sum allgather and no fence between phases.
 /// Requires in/out aligned and contiguous sub-domains.  Collective.
 template <typename InC, typename OutC, typename Op = std::plus<>>
 void p_partial_sum(InC& in, OutC& out, Op op = {})
 {
   using T = typename InC::value_type;
+  using EV = std::pair<T, bool>;  ///< (partial, nonempty)
   assert(in.size() == out.size());
 
-  auto const& part = in.partition();
-  std::size_t const nparts = part.size();
+  std::size_t const nparts = in.partition().size();
+  task_graph<EV> tg;
+  tg.set_stealing(false);  // every task touches owner-local bContainers
+  using tid = typename task_graph<EV>::task_id;
 
-  // Per-bCID local sums (only ours are meaningful).
-  std::vector<T> block_sum(nparts, T{});
-  for (auto& [bcid, bcptr] : in.get_location_manager()) {
-    T s{};
-    for (std::size_t i = 0; i != bcptr->size(); ++i)
-      s = i == 0 ? bcptr->at(0) : op(s, bcptr->at(i));
-    block_sum[bcid] = s;
+  std::vector<tid> chain(nparts);
+  for (std::size_t b = 0; b != nparts; ++b) {
+    location_id const loc = in.mapper().map(b);
+    // Leaf: fold this block's elements.
+    tid const fold = tg.add_task(
+        loc, [&in, b, op](std::vector<EV> const& /*ins*/, char const&) {
+          auto const& bc = in.bc(b);
+          EV acc{T{}, false};
+          for (std::size_t i = 0; i != bc.size(); ++i)
+            acc = acc.second ? EV{op(std::move(acc.first), bc.at(i)), true}
+                             : EV{bc.at(i), true};
+          return acc;
+        });
+    // Chain: running total through block b (inputs: previous total, fold).
+    chain[b] = tg.add_task(
+        loc, [op](std::vector<EV> const& ins, char const&) {
+          EV acc{T{}, false};
+          for (auto const& x : ins) {
+            if (!x.second)
+              continue;
+            acc = acc.second ? EV{op(std::move(acc.first), x.first), true} : x;
+          }
+          return acc;
+        });
+    if (b > 0)
+      tg.add_dependence(chain[b - 1], chain[b]);
+    tg.add_dependence(fold, chain[b]);
+    // Rescan: rewrite block b with the prefix before it as offset.
+    tid const rescan = tg.add_task(
+        loc, [&in, &out, b, op](std::vector<EV> const& ins, char const&) {
+          EV const off = ins.empty() ? EV{T{}, false} : ins[0];
+          auto const& ibc = in.bc(b);
+          T run = off.first;
+          bool have = off.second;
+          for (std::size_t i = 0; i != ibc.size(); ++i) {
+            run = have ? op(std::move(run), ibc.at(i)) : ibc.at(i);
+            have = true;
+            out.bc(b).set(i, run);
+          }
+          return EV{T{}, false};
+        });
+    if (b > 0)
+      tg.add_dependence(chain[b - 1], rescan);
   }
-  // Everyone learns every block's sum (small: one entry per bContainer);
-  // the authoritative value for bCID b comes from the location owning b.
-  auto const all = allgather(block_sum);
-  std::vector<T> sums(nparts, T{});
-  for (std::size_t b = 0; b != nparts; ++b)
-    sums[b] = all[in.mapper().map(b)][b];
-
-  // Exclusive prefix over ordered bCIDs.
-  std::vector<T> offset(nparts, T{});
-  for (std::size_t b = 1; b != nparts; ++b)
-    offset[b] = b == 1 ? sums[0] : op(offset[b - 1], sums[b - 1]);
-
-  // Local rescan writing the output.
-  for (auto& [bcid, bcptr] : in.get_location_manager()) {
-    T run = offset[bcid];
-    for (std::size_t i = 0; i != bcptr->size(); ++i) {
-      run = (bcid == 0 && i == 0) ? bcptr->at(0)
-            : i == 0              ? op(run, bcptr->at(0))
-                                  : op(run, bcptr->at(i));
-      out.bc(bcid).set(i, run);
-    }
-  }
-  rmi_fence();
+  tg.execute();
 }
 
-/// out[i] = in[i] - in[i-1] (out[0] = in[0]): implemented with the overlap
-/// view pattern of Fig. 2.  Collective.
+/// out[i] = in[i] - in[i-1] (out[0] = in[0]): chunked map over the input's
+/// native view; the overlap read at chunk borders goes through the
+/// shared-object view (Fig. 2 pattern).  Collective.
 template <typename InC, typename OutC, typename Op = std::minus<>>
 void p_adjacent_difference(InC& in, OutC& out, Op op = {})
 {
   using T = typename InC::value_type;
   assert(in.size() == out.size());
   array_1d_view iv(in);
-  for (auto g : iv.local_gids()) {
-    T const here = iv.read(g);
-    if (g == 0)
-      out.set_element(0, here);
-    else
-      out.set_element(g, op(here, iv.read(g - 1)));
-  }
-  rmi_fence();
+  tg_detail::chunked_for_each_gid(
+      iv, exec_policy{}, [iv, &out, op](gid1d g) mutable {
+        T const here = iv.read(g);
+        if (g == 0)
+          out.set_element(0, here);
+        else
+          out.set_element(g, op(here, iv.read(g - 1)));
+      });
 }
 
 } // namespace stapl

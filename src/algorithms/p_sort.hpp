@@ -11,8 +11,10 @@
 //   3. local elements are partitioned by splitter and shipped to their
 //      bucket's location in bulk asynchronous batches;
 //   4. each location sorts its bucket;
-//   5. bucket sizes are exchanged and the sorted sequence is written back
-//      to the container in order (async writes + fence).
+//   5. the sorted sequence is written back to the container in order: each
+//      location's start offset arrives as a value-carrying dependence from
+//      its left neighbour (an offset chain on the task-graph executor), so
+//      no bucket-size allgather is needed.
 //
 // Sorts any indexed container with 1D gids (pArray, pVector).
 
@@ -23,6 +25,7 @@
 #include <vector>
 
 #include "../runtime/runtime.hpp"
+#include "../runtime/task_graph.hpp"
 #include "../views/views.hpp"
 
 namespace stapl {
@@ -97,34 +100,55 @@ void p_sample_sort(C& arr, Compare cmp = {})
   // 4. Local bucket sort.
   std::sort(bucket.elems.begin(), bucket.elems.end(), cmp);
 
-  // 5. Write back in global order: bucket b starts at sum of earlier
-  //    bucket sizes.
-  auto const sizes = allgather(bucket.elems.size());
-  std::size_t offset = 0;
-  for (unsigned l = 0; l < this_location(); ++l)
-    offset += sizes[l];
-  for (std::size_t i = 0; i < bucket.elems.size(); ++i)
-    arr.set_element(offset + i, std::move(bucket.elems[i]));
-  rmi_fence();
+  // 5. Write back in global order: bucket l starts where buckets 0..l-1
+  //    end.  The running offset travels down a task chain as a dependence
+  //    value (each location's chain task adds its bucket size), and every
+  //    location's write-back task fires as soon as its offset arrives —
+  //    no size allgather, no phase barrier.
+  {
+    task_graph<std::size_t> tg;
+    tg.set_stealing(false);  // tasks touch this location's bucket
+    using tid = task_graph<std::size_t>::task_id;
+    std::vector<tid> chain(p);
+    for (unsigned l = 0; l < p; ++l) {
+      chain[l] = tg.add_task(
+          l, [&bucket](std::vector<std::size_t> const& ins, char const&) {
+            return (ins.empty() ? 0 : ins[0]) + bucket.elems.size();
+          });
+      if (l > 0)
+        tg.add_dependence(chain[l - 1], chain[l]);
+    }
+    for (unsigned l = 0; l < p; ++l) {
+      tid const wb = tg.add_task(
+          l, [&bucket, &arr](std::vector<std::size_t> const& ins,
+                             char const&) {
+            std::size_t const offset = ins.empty() ? 0 : ins[0];
+            for (std::size_t i = 0; i < bucket.elems.size(); ++i)
+              arr.set_element(offset + i, std::move(bucket.elems[i]));
+            return std::size_t{0};
+          });
+      if (l > 0)
+        tg.add_dependence(chain[l - 1], wb);
+    }
+    tg.execute();
+  }
 }
 
-/// Collective check that a container's elements are globally sorted.
+/// Collective check that a container's elements are globally sorted:
+/// a tree_reduce of per-pair checks (the boundary read of g+1 goes through
+/// the shared-object view).
 template <typename C, typename Compare = std::less<>>
 [[nodiscard]] bool p_is_sorted(C& arr, Compare cmp = {})
 {
-  bool local_ok = true;
-  array_1d_view v(arr);
-  for (auto g : v.local_gids()) {
-    if (g + 1 < arr.size()) {
-      auto const a = v.read(g);
-      auto const b = v.read(g + 1);
-      if (cmp(b, a))
-        local_ok = false;
-    }
-  }
-  return allreduce(static_cast<int>(local_ok), [](int x, int y) {
-           return x & y;
-         }) != 0;
+  array_1d_ro_view v(arr);
+  std::size_t const n = arr.size();
+  auto const ok = tree_reduce(
+      v,
+      [v, n, cmp](gid1d g, typename C::value_type const& x) mutable {
+        return g + 1 < n ? !cmp(v.read(g + 1), x) : true;
+      },
+      [](bool a, bool b) { return a && b; });
+  return ok.value_or(true);
 }
 
 } // namespace stapl

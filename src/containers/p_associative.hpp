@@ -207,21 +207,22 @@ class p_container_associative : public p_container_dynamic<Derived, Traits> {
   // local bContainer instead of an overflow store.
   // -------------------------------------------------------------------------
 
-  /// Removes the element of `k` from local storage and returns its mapped
-  /// value.  Multi containers migrate exactly one occurrence; the rest
-  /// stay behind.
-  [[nodiscard]] mapped_type extract_element(key_type const& k)
+  /// Removes the element(s) of `k` from local storage and returns the
+  /// mapped values in equal-range order.  The directory owns the *key*, so
+  /// multi containers migrate every occurrence atomically — the payload is
+  /// the whole equal range (a single-element vector for unique maps).
+  [[nodiscard]] std::vector<mapped_type> extract_element(key_type const& k)
   {
     bcid_type const b = this->derived().dyn_local_bcid(k);
-    mapped_type v = this->bc(b).extract_one(k);
+    std::vector<mapped_type> vs = this->bc(b).extract_all(k);
     this->m_dyn_index.erase(k);
-    return v;
+    return vs;
   }
 
-  /// Stores a migrated-in element: into the partition-assigned bContainer
-  /// when it is local, else into this location's first bContainer (tracked
-  /// in the dynamic index so local dispatch finds it).
-  void insert_migrated(key_type const& k, mapped_type v)
+  /// Stores a migrated-in equal range: into the partition-assigned
+  /// bContainer when it is local, else into this location's first
+  /// bContainer (tracked in the dynamic index so local dispatch finds it).
+  void insert_migrated(key_type const& k, std::vector<mapped_type> vs)
   {
     bcid_type b = this->m_partition.get_info(k);
     if (this->m_lm.has(b)) {
@@ -231,9 +232,12 @@ class p_container_associative : public p_container_dynamic<Derived, Traits> {
       b = this->m_lm.begin()->first;
       this->m_dyn_index[k] = b;
     }
-    // Plain insert: the occurrence was just extracted at the source, and
-    // (unlike get_or_create) it compiles for multi containers too.
-    (void)this->bc(b).insert(k, std::move(v));
+    // Plain inserts: the occurrences were just extracted at the source,
+    // and (unlike get_or_create) insert compiles for multi containers too.
+    // Unique containers receive a single value; multi containers restore
+    // the whole equal range.
+    for (auto& v : vs)
+      (void)this->bc(b).insert(k, std::move(v));
   }
 };
 
@@ -309,6 +313,37 @@ class p_container_simple_associative
       for (auto const& k : *bcptr)
         out.push_back(k);
     return out;
+  }
+
+  // -------------------------------------------------------------------------
+  // Migration protocol hooks.  The key is the value, so the payload is
+  // just the occurrence count: multisets migrate their whole equal range
+  // atomically, sets a single occurrence.
+  // -------------------------------------------------------------------------
+
+  /// Removes every occurrence of `k` locally; the payload is how many.
+  [[nodiscard]] std::size_t extract_element(key_type const& k)
+  {
+    bcid_type const b = this->derived().dyn_local_bcid(k);
+    std::size_t const n = this->bc(b).erase(k);
+    assert(n != 0 && "extract_element: key not in this bContainer");
+    this->m_dyn_index.erase(k);
+    return n;
+  }
+
+  /// Re-inserts `count` occurrences of `k` at the destination.
+  void insert_migrated(key_type const& k, std::size_t count)
+  {
+    bcid_type b = this->m_partition.get_info(k);
+    if (this->m_lm.has(b)) {
+      this->m_dyn_index.erase(k);
+    } else {
+      assert(this->m_lm.size() > 0 && "migration target has no bContainer");
+      b = this->m_lm.begin()->first;
+      this->m_dyn_index[k] = b;
+    }
+    for (std::size_t i = 0; i != count; ++i)
+      (void)this->bc(b).insert(k);
   }
 };
 

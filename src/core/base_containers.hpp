@@ -253,6 +253,21 @@ class map_bcontainer {
     m_map.erase(it);
     return v;
   }
+
+  /// Removes every occurrence of `k` and returns the mapped values in
+  /// equal-range order — the migration payload of pair-associative
+  /// containers (multi containers move the whole key atomically; unique
+  /// containers yield a single-element vector).
+  [[nodiscard]] std::vector<mapped_type> extract_all(key_type const& k)
+  {
+    auto const [first, last] = m_map.equal_range(k);
+    assert(first != last && "extract_all: key not in this bContainer");
+    std::vector<mapped_type> out;
+    for (auto it = first; it != last; ++it)
+      out.push_back(std::move(it->second));
+    m_map.erase(first, last);
+    return out;
+  }
   /// operator[]-like access: default-constructs missing entries.
   [[nodiscard]] mapped_type& get_or_create(key_type const& k)
   {

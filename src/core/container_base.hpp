@@ -185,10 +185,14 @@ class p_container_base : public p_object {
       rmi_fence();
       return;
     }
+    // Snapshot the closed-form bView before flipping to dynamic
+    // resolution: once m_dynamic is set, local_gids() filters by directory
+    // ownership, which is exactly what the loop below seeds.
+    auto const seed_gids = derived().local_gids();
     enable_directory_resolution([this](gid_type const& g) {
       return m_mapper.map(m_partition.get_info(g));
     });
-    for (auto const& g : derived().local_gids())
+    for (auto const& g : seed_gids)
       m_directory->seed_ownership(g);
     rmi_fence();
   }
@@ -239,8 +243,13 @@ class p_container_base : public p_object {
   /// a wave ran.  Call from the application's iteration loop.
   std::optional<rebalance_report> advance_epoch()
   {
+    if (!m_lb_enabled)
+      return std::nullopt; // epochs only count once balancing is live, so
+                           // the first wave fires a full interval after
+                           // enable_load_balancing(), not at an arbitrary
+                           // phase of the app's iteration count
     m_lb_epoch += 1;
-    if (!m_lb_enabled || m_lb_cfg.epoch_interval == 0 ||
+    if (m_lb_cfg.epoch_interval == 0 ||
         m_lb_epoch % m_lb_cfg.epoch_interval != 0)
       return std::nullopt;
     return rebalance();
@@ -906,27 +915,80 @@ class p_container_indexed : public SizeBase<Derived, Traits> {
 
   /// Applies `f(gid, element&)` to every element stored on this location,
   /// bContainer by bContainer in partition order (the native traversal).
+  /// After make_dynamic() the traversal follows current *ownership*:
+  /// partition-assigned slots whose element migrated away are skipped, and
+  /// adopted elements living in the overflow store are visited (ascending
+  /// GID order) — so bView iteration and task-graph chunks cover exactly
+  /// the elements this location owns.  Runs under the dynamic-dispatch
+  /// guard; like any element action, `f` must not perform remote container
+  /// operations under the direct transport (Ch. VI discipline).
   template <typename F>
   void for_each_local(F&& f)
   {
+    if (!this->is_dynamic()) {
+      for (auto& [bcid, bcptr] : this->m_lm) {
+        std::size_t const n = bcptr->size();
+        for (std::size_t i = 0; i != n; ++i)
+          f(this->partition().gid_of(bcid, i), bcptr->at(i));
+      }
+      return;
+    }
+    typename base::dyn_guard guard(*this);
+    auto const owned = this->get_directory().owned_snapshot();
     for (auto& [bcid, bcptr] : this->m_lm) {
       std::size_t const n = bcptr->size();
-      for (std::size_t i = 0; i != n; ++i)
-        f(this->partition().gid_of(bcid, i), bcptr->at(i));
+      for (std::size_t i = 0; i != n; ++i) {
+        gid_type const g = this->partition().gid_of(bcid, i);
+        if (owned.count(g) != 0)
+          f(g, bcptr->at(i));
+      }
     }
+    for (gid_type const& g : adopted_gids_sorted())
+      f(g, this->m_migrated.at(g));
   }
 
-  /// GIDs of all locally stored elements, in partition order.
+  /// GIDs of all locally stored elements, in partition order.  Dynamic
+  /// containers list the elements this location currently *owns*: migrated
+  /// -away slots are excluded and adopted overflow elements appended in
+  /// ascending GID order (ROADMAP PR-1 follow-up).
   [[nodiscard]] std::vector<gid_type> local_gids() const
   {
     std::vector<gid_type> out;
     out.reserve(this->m_lm.local_size());
+    if (!this->is_dynamic()) {
+      for (auto const& [bcid, bcptr] : this->m_lm) {
+        std::size_t const n = bcptr->size();
+        for (std::size_t i = 0; i != n; ++i)
+          out.push_back(this->partition().gid_of(bcid, i));
+      }
+      return out;
+    }
+    typename base::dyn_guard guard(*this);
+    auto const owned = this->get_directory().owned_snapshot();
     for (auto const& [bcid, bcptr] : this->m_lm) {
       std::size_t const n = bcptr->size();
-      for (std::size_t i = 0; i != n; ++i)
-        out.push_back(this->partition().gid_of(bcid, i));
+      for (std::size_t i = 0; i != n; ++i) {
+        gid_type const g = this->partition().gid_of(bcid, i);
+        if (owned.count(g) != 0)
+          out.push_back(g);
+      }
     }
+    auto const adopted = adopted_gids_sorted();
+    out.insert(out.end(), adopted.begin(), adopted.end());
     return out;
+  }
+
+ private:
+  /// GIDs living in the migrated-element overflow store, ascending (a
+  /// deterministic traversal order for adopted elements).
+  [[nodiscard]] std::vector<gid_type> adopted_gids_sorted() const
+  {
+    std::vector<gid_type> adopted;
+    adopted.reserve(this->m_migrated.size());
+    for (auto const& [g, v] : this->m_migrated)
+      adopted.push_back(g);
+    std::sort(adopted.begin(), adopted.end());
+    return adopted;
   }
 };
 

@@ -177,6 +177,15 @@ class directory : public p_object {
     return m_owned.count(g) != 0;
   }
 
+  /// Copy of this location's owned-GID set under one lock acquisition —
+  /// for bulk traversals that would otherwise pay a mutex round trip per
+  /// element (container local_gids()/for_each_local).
+  [[nodiscard]] std::unordered_set<GID, Hash> owned_snapshot() const
+  {
+    std::lock_guard lock(m_mutex);
+    return m_owned;
+  }
+
   [[nodiscard]] directory_stats const& stats() const noexcept
   {
     return m_stats;

@@ -36,6 +36,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <iterator>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -52,8 +53,13 @@ struct load_balancer_config {
   double imbalance_threshold = 1.25;
   /// Capacity of the per-location space-saving hot-GID tracker.
   std::size_t hot_k = 64;
-  /// Upper bound on migrations per rebalance wave (0 = hot_k per donor).
+  /// Upper bound on migrations per rebalance wave (0 = unbounded: each
+  /// donor can contribute at most its hot_k tracked candidates anyway).
   std::size_t max_moves = 0;
+  /// Upper bound on bytes transferred per rebalance wave (0 = unlimited).
+  /// Together with the density ordering below, this keeps one huge element
+  /// from dominating a wave's transfer cost.
+  std::uint64_t max_wave_bytes = 0;
   /// advance_epoch(): run rebalance() every this many epochs
   /// (0 = never rebalance automatically; rebalance() remains available).
   unsigned epoch_interval = 1;
@@ -64,31 +70,82 @@ struct rebalance_report {
   bool triggered = false;        ///< a migration plan was computed/executed
   std::size_t moves = 0;         ///< migrations in the plan (global)
   std::uint64_t total_load = 0;  ///< owner accesses observed this epoch
+  std::uint64_t bytes_moved = 0; ///< estimated payload bytes of the plan
   double imbalance_before = 1.0; ///< max/avg load at measurement
   double imbalance_after = 1.0;  ///< projected max/avg after the plan
 };
 
 namespace lb_detail {
 
+/// Estimated in-memory payload size of one element value (shallow struct
+/// size plus the dynamic buffer of string/vector-like values).
+template <typename T>
+[[nodiscard]] std::uint64_t byte_size_of(T const& v)
+{
+  if constexpr (requires {
+                  v.capacity();
+                  typename T::value_type;
+                }) {
+    return sizeof(T) + v.capacity() * sizeof(typename T::value_type);
+  } else if constexpr (requires {
+                         std::size(v);
+                         typename T::value_type;
+                       }) {
+    return sizeof(T) + std::size(v) * sizeof(typename T::value_type);
+  } else {
+    return sizeof(T);
+  }
+}
+
+/// Estimated migration-payload bytes of the (locally owned) element `g`:
+/// the container's own element_bytes hook when it has one, else the local
+/// value's size, else the static value size.
+template <typename C>
+[[nodiscard]] std::uint64_t element_bytes(C& c, typename C::gid_type const& g)
+{
+  if constexpr (requires { c.element_bytes(g); }) {
+    return c.element_bytes(g);
+  } else if constexpr (requires { c.local_element_ptr(g); }) {
+    if (auto* p = c.local_element_ptr(g))
+      return byte_size_of(*p);
+    return sizeof(typename C::value_type);
+  } else {
+    return sizeof(typename C::value_type);
+  }
+}
+
+/// One hot-element candidate in a location's load summary.
+template <typename GID>
+struct hot_candidate {
+  GID gid{};
+  std::uint64_t count = 0;  ///< estimated owner accesses this epoch
+  std::uint64_t bytes = 0;  ///< estimated migration payload
+};
+
 /// One planned migration: `gid` (currently on `from`) moves to `to` with
-/// estimated load `weight`.
+/// estimated load `weight` and transfer cost `bytes`.
 template <typename GID>
 struct planned_move {
   GID gid;
   location_id from;
   location_id to;
   std::uint64_t weight;
+  std::uint64_t bytes;
 };
 
 /// Greedy drain of overloaded locations.  `loads[l]` is location l's epoch
-/// load; `hot[l]` its tracked hot GIDs, hottest first.  Deterministic:
-/// called with identical arguments on every location, it yields the same
-/// plan everywhere (ties break toward the lower location id).
+/// load; `hot[l]` its tracked hot candidates.  Candidates are considered
+/// in *transfer-efficiency* order — load moved per byte shipped (density),
+/// count and lower GID as tie-breaks — so a huge element no longer beats a
+/// small one of equal hotness, and `max_wave_bytes` (0 = unlimited) caps
+/// the wave's total payload.  Deterministic: called with identical
+/// arguments on every location, it yields the same plan everywhere (ties
+/// break toward the lower location id).
 template <typename GID, typename Hash = std::hash<GID>>
 [[nodiscard]] std::vector<planned_move<GID>>
 greedy_plan(std::vector<std::uint64_t> const& loads,
-            std::vector<std::vector<std::pair<GID, std::uint64_t>>> const& hot,
-            std::size_t max_moves)
+            std::vector<std::vector<hot_candidate<GID>>> const& hot,
+            std::size_t max_moves, std::uint64_t max_wave_bytes = 0)
 {
   unsigned const p = static_cast<unsigned>(loads.size());
   std::uint64_t total = 0;
@@ -108,13 +165,31 @@ greedy_plan(std::vector<std::uint64_t> const& loads,
     return cur[a] != cur[b] ? cur[a] > cur[b] : a < b;
   });
 
+  auto density = [](hot_candidate<GID> const& c) {
+    return static_cast<double>(c.count) /
+           static_cast<double>(c.bytes == 0 ? 1 : c.bytes);
+  };
+
+  std::uint64_t wave_bytes = 0;
   std::unordered_set<GID, Hash> planned;
   for (location_id const d : order) {
-    for (auto const& [g, count] : hot[d]) {
+    auto candidates = hot[d];
+    std::sort(candidates.begin(), candidates.end(),
+              [&](hot_candidate<GID> const& a, hot_candidate<GID> const& b) {
+                double const da = density(a), db = density(b);
+                if (da != db)
+                  return da > db;
+                if (a.count != b.count)
+                  return a.count > b.count;
+                return a.gid < b.gid;
+              });
+    for (auto const& [g, count, bytes] : candidates) {
       if (plan.size() >= max_moves)
         return plan;
       if (cur[d] <= avg)
         break; // donor drained to the mean: next donor
+      if (max_wave_bytes != 0 && wave_bytes + bytes > max_wave_bytes)
+        continue; // over the wave's transfer budget: try a smaller element
       // An element that migrated mid-epoch is counted in two sketches;
       // only its first (hottest-donor) appearance may be planned — a
       // second move of the same GID would race it and double-count load.
@@ -137,8 +212,9 @@ greedy_plan(std::vector<std::uint64_t> const& loads,
         // tracked element may still fit.
         continue;
       }
-      plan.push_back({g, d, r, count});
+      plan.push_back({g, d, r, count, bytes});
       planned.insert(g);
+      wave_bytes += bytes;
       cur[d] -= w;
       cur[r] += w;
     }
@@ -193,13 +269,22 @@ rebalance_report rebalance(C& c, load_balancer_config const& cfg)
     return rep; // balanced (or idle) epoch: keep counters accumulating
   }
 
-  auto const hot = allgather(dir.hot_elements());
+  // Attach payload sizes to the local hot list: transfer cost weights the
+  // plan alongside access count (an element the sketch still lists after
+  // it departed falls back to the static value size).
+  std::vector<lb_detail::hot_candidate<gid_type>> my_hot;
+  for (auto const& [g, count] : dir.hot_elements())
+    my_hot.push_back({g, count, lb_detail::element_bytes(c, g)});
+  auto const hot = allgather(my_hot);
   std::size_t const max_moves =
       cfg.max_moves != 0 ? cfg.max_moves : cfg.hot_k * num_locations();
-  auto const plan = lb_detail::greedy_plan<gid_type>(loads, hot, max_moves);
+  auto const plan = lb_detail::greedy_plan<gid_type>(loads, hot, max_moves,
+                                                     cfg.max_wave_bytes);
 
   rep.triggered = true;
   rep.moves = plan.size();
+  for (auto const& mv : plan)
+    rep.bytes_moved += mv.bytes;
   {
     std::vector<double> projected(loads.begin(), loads.end());
     for (auto const& mv : plan) {

@@ -1,144 +1,51 @@
 #ifndef STAPL_RUNTIME_EXECUTOR_HPP
 #define STAPL_RUNTIME_EXECUTOR_HPP
 
-// Executor and pRange (dissertation Ch. III): a pAlgorithm is represented
-// as a graph of tasks (work + data) with dependence edges; the executor —
-// itself a distributed shared object — runs tasks whose dependencies are
-// satisfied, updates dependencies as tasks complete, and injects the
-// synchronization points of Ch. VII.H when the computation finishes.
+// Compatibility surface of the original executor (dissertation Ch. III).
 //
-// The task graph descriptor is replicated (built identically on every
-// location, SPMD style); each task has one owner location where its work
-// function runs.  Completion notifications travel as asynchronous RMIs.
+// The real executor now lives in task_graph.hpp: coarsened chunk tasks,
+// value-carrying dependence edges and cross-location work stealing.  This
+// header keeps the historical entry points alive:
+//
+//   * p_range — the original "one task, one owner, void work" descriptor,
+//     now a thin shim over task_graph<char>.  Tasks added through it are
+//     pinned to their owner (never stolen), preserving the documented
+//     "work runs on that location only" contract.
+//   * map_func — re-exported from task_graph.hpp, where it spawns many
+//     chunk tasks per location instead of one.
 
-#include <cassert>
 #include <cstddef>
-#include <deque>
 #include <functional>
-#include <vector>
+#include <utility>
 
-#include "runtime.hpp"
+#include "task_graph.hpp"
 
 namespace stapl {
 
-/// A distributed task dependence graph.  Construction is collective: every
-/// location must add the same tasks and edges in the same order.
-class p_range : public p_object {
+/// A distributed task dependence graph with void tasks (legacy interface).
+/// Construction is collective: every location must add the same tasks and
+/// edges in the same order.
+class p_range : public task_graph<char> {
  public:
-  using task_id = std::size_t;
+  using task_id = task_graph<char>::task_id;
+
+  p_range()
+  {
+    // All p_range tasks are owner-pinned; never probe peers for work.
+    set_stealing(false);
+  }
 
   /// Adds a task owned by `owner`; `work` runs on that location only.
   task_id add_task(location_id owner, std::function<void()> work)
   {
-    task_id const id = m_tasks.size();
-    m_tasks.push_back(task{std::move(work), owner, {}, 0, false});
-    if (owner == this_location())
-      ++m_local_remaining;
-    return id;
+    return task_graph<char>::add_task(
+        owner,
+        [work = std::move(work)](std::vector<char> const&, char const&) {
+          work();
+          return char{};
+        });
   }
-
-  /// Declares that `succ` cannot start before `pred` completes.
-  void add_dependence(task_id pred, task_id succ)
-  {
-    assert(pred < m_tasks.size() && succ < m_tasks.size());
-    m_tasks[pred].succs.push_back(succ);
-    ++m_tasks[succ].preds;
-  }
-
-  [[nodiscard]] std::size_t num_tasks() const noexcept
-  {
-    return m_tasks.size();
-  }
-  [[nodiscard]] bool task_done(task_id t) const { return m_tasks[t].done; }
-
-  /// Runs the graph to completion.  Collective; ends with a fence.
-  void execute()
-  {
-    for (task_id t = 0; t < m_tasks.size(); ++t)
-      if (m_tasks[t].owner == this_location() && m_tasks[t].preds == 0)
-        m_ready.push_back(t);
-
-    runtime_detail::wait_backoff bo;
-    while (m_local_remaining != 0) {
-      if (m_ready.empty()) {
-        // Wait for completion notifications from predecessor owners.
-        if (runtime_detail::poll_once())
-          bo.reset();
-        else
-          bo.pause();
-        continue;
-      }
-      task_id const t = m_ready.front();
-      m_ready.pop_front();
-      run_task(t);
-      bo.reset();
-    }
-    rmi_fence();
-  }
-
-  /// Framework-internal: records the completion of a predecessor.
-  void notify(task_id succ)
-  {
-    assert(m_tasks[succ].owner == this_location());
-    if (--m_tasks[succ].preds == 0)
-      m_ready.push_back(succ);
-  }
-
- private:
-  struct task {
-    std::function<void()> work;
-    location_id owner = 0;
-    std::vector<task_id> succs;
-    int preds = 0;
-    bool done = false;
-  };
-
-  void run_task(task_id t)
-  {
-    auto& tk = m_tasks[t];
-    tk.work();
-    tk.done = true;
-    --m_local_remaining;
-    for (task_id s : tk.succs) {
-      location_id const owner = m_tasks[s].owner;
-      if (owner == this_location())
-        notify(s);
-      else
-        async_rmi<p_range>(owner, get_handle(), &p_range::notify, s);
-    }
-  }
-
-  std::vector<task> m_tasks;
-  std::deque<task_id> m_ready;
-  std::size_t m_local_remaining = 0;
 };
-
-/// map_func (Ch. VII.A, Fig. 19): spawns one task per location applying the
-/// work function to every element of the location's bView, executes the
-/// resulting pRange, fences, and invokes post_execute on the view.
-template <typename WF, typename View>
-void map_func(WF wf, View v)
-{
-  p_range pr;
-  for (location_id l = 0; l < num_locations(); ++l)
-    pr.add_task(l, [&v, wf]() mutable {
-      for (auto g : v.local_gids()) {
-        auto f = [&](auto& x) { wf(x); };
-        if constexpr (requires { v.try_local_ref(g); }) {
-          if (auto* p = v.try_local_ref(g)) {
-            f(*p);
-            continue;
-          }
-        }
-        auto x = v.read(g);
-        f(x);
-        if constexpr (requires { v.write(g, x); })
-          v.write(g, x);
-      }
-    });
-  pr.execute();
-  v.post_execute();
-}
 
 } // namespace stapl
 

@@ -1,0 +1,885 @@
+#ifndef STAPL_RUNTIME_TASK_GRAPH_HPP
+#define STAPL_RUNTIME_TASK_GRAPH_HPP
+
+// PARAGRAPH-style task-graph executor (dissertation Ch. III / Ch. VII): a
+// pAlgorithm is a graph of *coarsened* tasks — one task per bView chunk, not
+// one per location — with value-carrying dependence edges, run by a
+// distributed executor with cross-location work stealing.
+//
+// Model
+// -----
+// The graph *descriptor* (task ids, owners, dependence edges, work
+// functions) is replicated: every location adds the same tasks and edges in
+// the same order, SPMD style.  What is NOT replicated is each task's
+// *payload* (e.g. the GIDs of the chunk it processes): only the owner knows
+// it.  This split is what makes stealing cheap — execution rights plus the
+// payload travel in one message; the closure is already everywhere.
+//
+// Value-carrying dependences
+// --------------------------
+// A task computes `E work(inputs, payload)`.  Its result is delivered to
+// every successor's owner (slot order == add_dependence order), so
+// tree-reduce and scan factories chain partial results through the graph
+// instead of allgather+fence between phases.  Delivery reuses the
+// pc_future-style state machine: values land in per-task input slots and
+// the task becomes ready when the last slot fills.
+//
+// Work stealing
+// -------------
+// A task marked `stealable` (locality-free work, or a read-only chunk whose
+// element accesses route through the shared-object view) may execute on any
+// location.  An idle location asks a victim (descending owned-task order,
+// round robin) for work; the victim pops a stealable *ready* task from the
+// back of its queue and ships (task id, input values, payload).  The thief
+// runs its own replica of the closure, delivers successor values itself,
+// and sends the result back to the owner, which keeps the authoritative
+// completion record.  Non-stealable tasks never leave their owner.
+//
+// Termination
+// -----------
+// When a location's owned tasks are all complete it tells location 0; when
+// all locations have quiesced, location 0 broadcasts done.  Locations keep
+// stealing until the done flag arrives, and the trailing rmi_fence —
+// the existing system-wide termination detection — drains every straggler
+// (late steal requests, nacks, value deliveries), so the fence the
+// executor already needed doubles as the steal-protocol shutdown.
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "runtime.hpp"
+
+namespace stapl {
+
+/// Per-location executor counters (surfaced like location_stats).
+struct task_graph_stats {
+  std::uint64_t tasks_run = 0;     ///< tasks executed on this location
+  std::uint64_t tasks_stolen = 0;  ///< of which stolen from another owner
+  std::uint64_t tasks_lost = 0;    ///< owned tasks executed elsewhere
+  std::uint64_t steal_fail = 0;    ///< steal attempts that came back empty
+  std::uint64_t values_sent = 0;   ///< dependence values shipped off-location
+
+  task_graph_stats& operator+=(task_graph_stats const& o) noexcept
+  {
+    tasks_run += o.tasks_run;
+    tasks_stolen += o.tasks_stolen;
+    tasks_lost += o.tasks_lost;
+    steal_fail += o.steal_fail;
+    values_sent += o.values_sent;
+    return *this;
+  }
+};
+
+/// Per-task scheduling options.
+struct task_options {
+  /// True when the task may execute on any location: its work either
+  /// touches no storage (locality-free) or reaches elements through the
+  /// shared-object view, which routes correctly from anywhere.
+  bool stealable = false;
+};
+
+/// A distributed graph of coarsened tasks with value-carrying dependence
+/// edges.  Construction is collective and replicated: every location adds
+/// the same tasks and edges in the same order; each task's payload is
+/// supplied by its owner only.  `E` is the dependence-edge value type
+/// (default-constructible); `P` the owner-local payload type.
+template <typename E, typename P = char>
+class task_graph : public p_object {
+ public:
+  using task_id = std::size_t;
+  using value_type = E;
+  using payload_type = P;
+  /// inputs arrive in add_dependence order; payload is the owner's (or the
+  /// granted copy on a thief).
+  using work_fn = std::function<E(std::vector<E> const&, P const&)>;
+
+  /// Adds a task owned by `owner`.  `payload` matters on the owner only.
+  task_id add_task(location_id owner, work_fn work, P payload = P{},
+                   task_options opts = {})
+  {
+    std::lock_guard lock(m_mutex);
+    assert(!m_started && "graph is frozen once execute() begins");
+    task_id const id = m_tasks.size();
+    task tk;
+    tk.work = std::move(work);
+    tk.payload = std::move(payload);
+    tk.owner = owner;
+    tk.opts = opts;
+    m_tasks.push_back(std::move(tk));
+    if (opts.stealable)
+      m_has_stealable = true;
+    return id;
+  }
+
+  /// Declares that `succ` consumes `pred`'s value (as its next input slot).
+  void add_dependence(task_id pred, task_id succ)
+  {
+    std::lock_guard lock(m_mutex);
+    assert(pred < m_tasks.size() && succ < m_tasks.size());
+    assert(!m_started && "graph is frozen once execute() begins");
+    auto const slot = static_cast<std::uint32_t>(m_tasks[succ].n_inputs++);
+    m_tasks[pred].succ_slots.emplace_back(succ, slot);
+  }
+
+  /// Enables/disables stealing for this graph (default on; call
+  /// SPMD-consistently before execute()).
+  void set_stealing(bool enable) noexcept { m_steal_enabled = enable; }
+
+  [[nodiscard]] std::size_t num_tasks() const
+  {
+    std::lock_guard lock(m_mutex);
+    return m_tasks.size();
+  }
+
+  /// True once the task completed (authoritative on the owner).
+  [[nodiscard]] bool task_done(task_id t) const
+  {
+    std::lock_guard lock(m_mutex);
+    return m_tasks[t].done;
+  }
+
+  /// Result value of a locally owned, completed task (valid after
+  /// execute(); completion records carry the value home from thieves).
+  [[nodiscard]] E const& result_of(task_id t) const
+  {
+    std::lock_guard lock(m_mutex);
+    assert(m_tasks[t].owner == this->get_location_id() && m_tasks[t].done);
+    return m_tasks[t].value;
+  }
+
+  [[nodiscard]] task_graph_stats const& stats() const noexcept
+  {
+    return m_stats;
+  }
+
+  /// Field-wise sum of every location's counters.  Collective.
+  [[nodiscard]] task_graph_stats global_stats() const
+  {
+    return allreduce(m_stats, [](task_graph_stats a,
+                                 task_graph_stats const& b) {
+      a += b;
+      return a;
+    });
+  }
+
+  /// Runs the graph to completion.  Collective; one-shot; ends with a
+  /// fence.  Task work functions may invoke element methods (including
+  /// synchronous ones — the executor polls) but must not fence.
+  ///
+  /// Two schedules, chosen from the (replicated) descriptor:
+  ///  * local drain — no stealable task exists, so tasks only ever run on
+  ///    their owner: each location drains its own ready queue, polling
+  ///    for dependence values while stalled, and the trailing fence
+  ///    completes the graph.  No termination-protocol traffic at all.
+  ///  * steal mode — locations keep scheduling until the done broadcast:
+  ///    they poll between tasks (so a busy victim grants steals
+  ///    mid-stream) and probe victims while idle.
+  void execute() { execute_impl(true); }
+
+  /// Local-drain variant for *pure-read* factories: returns as soon as
+  /// this location's tasks are done, without the trailing fence (outgoing
+  /// dependence values are flushed so peers' polls retrieve them).  Only
+  /// meaningful for graphs with no stealable tasks whose work performs no
+  /// writes that later phases must observe; steal-mode graphs always
+  /// fence.  Every message of the graph is addressed to a task that must
+  /// complete before its owner exits, so no straggler can outlive the
+  /// graph object.
+  void execute_drain_only() { execute_impl(false); }
+
+ private:
+  void execute_impl(bool with_fence)
+  {
+    seed();
+    runtime_detail::wait_backoff bo;
+    if (!m_steal_mode) {
+      while (m_local_remaining != 0) {
+        if (run_one()) {
+          bo.reset();
+          continue;
+        }
+        if (runtime_detail::poll_once()) {
+          bo.reset();
+          continue;
+        }
+        bo.pause();
+      }
+      if (with_fence)
+        rmi_fence();
+      else
+        runtime_detail::flush_aggregation();
+      return;
+    }
+    unsigned idle_rounds = 0;
+    while (!m_done.load(std::memory_order_acquire)) {
+      // Poll before each task so a busy victim services steal requests
+      // and value deliveries between chunks, not only when it runs dry.
+      bool const progressed = runtime_detail::poll_once();
+      if (run_one() || progressed) {
+        bo.reset();
+        idle_rounds = 0;
+        continue;
+      }
+      ++idle_rounds;
+      maybe_steal(idle_rounds);
+      bo.pause();
+    }
+    rmi_fence();
+  }
+
+ public:
+  // -------------------------------------------------------------------------
+  // Message handlers (public: executed on remote representatives via ARMI)
+  // -------------------------------------------------------------------------
+
+  /// At the successor's owner: one input value arrived.  Under the direct
+  /// transport a fast peer may deliver before this location finished
+  /// building its replica; such values park in m_early until seed().
+  void handle_value(task_id t, std::uint32_t slot, E v)
+  {
+    std::lock_guard lock(m_mutex);
+    if (!m_started && t >= m_tasks.size()) {
+      m_early.emplace_back(t, slot, std::move(v));
+      return;
+    }
+    deliver_locked(t, slot, std::move(v));
+  }
+
+  /// At the owner: a thief finished our task; record the result.
+  void handle_complete(task_id t, E v)
+  {
+    bool quiesced = false;
+    {
+      std::lock_guard lock(m_mutex);
+      task& tk = m_tasks[t];
+      assert(!tk.done);
+      tk.done = true;
+      tk.value = std::move(v);
+      m_stats.tasks_lost += 1;
+      quiesced = (--m_local_remaining == 0);
+    }
+    if (quiesced)
+      send_quiesced();
+  }
+
+  /// At a victim: `thief` wants work; pop a stealable ready task.
+  void handle_steal_request(location_id thief)
+  {
+    std::optional<ready_item> grant;
+    {
+      std::lock_guard lock(m_mutex);
+      for (auto it = m_ready.rbegin(); it != m_ready.rend(); ++it) {
+        if (it->stolen || !m_tasks[it->id].opts.stealable)
+          continue;
+        ready_item item = std::move(*it);
+        m_ready.erase(std::next(it).base());
+        // Owned ready items keep their inputs in the task record; the
+        // grant ships them (and the payload) to the thief.
+        task& tk = m_tasks[item.id];
+        item.inputs = std::move(tk.inputs);
+        item.payload = std::move(tk.payload);
+        grant.emplace(std::move(item));
+        break;
+      }
+    }
+    if (grant) {
+      async_rmi<task_graph>(thief, this->get_handle(),
+                            &task_graph::handle_steal_grant, grant->id,
+                            std::move(grant->inputs),
+                            std::move(grant->payload));
+    } else {
+      async_rmi<task_graph>(thief, this->get_handle(),
+                            &task_graph::handle_steal_nack);
+    }
+  }
+
+  /// At the thief: a granted task (with its inputs and payload).
+  void handle_steal_grant(task_id t, std::vector<E> inputs, P payload)
+  {
+    {
+      std::lock_guard lock(m_mutex);
+      m_ready.push_back(
+          ready_item{t, true, std::move(inputs), std::move(payload)});
+      m_stats.tasks_stolen += 1;
+      m_fail_streak = 0;
+    }
+    m_steal_inflight.store(false, std::memory_order_release);
+  }
+
+  /// At the thief: the victim had nothing stealable.
+  void handle_steal_nack()
+  {
+    {
+      std::lock_guard lock(m_mutex);
+      m_stats.steal_fail += 1;
+      m_fail_streak += 1;
+    }
+    m_steal_inflight.store(false, std::memory_order_release);
+  }
+
+  /// At location 0: one location's owned tasks all completed.
+  void handle_quiesced()
+  {
+    if (++m_quiesced == this->get_num_locations()) {
+      for (location_id l = 0; l < this->get_num_locations(); ++l) {
+        if (l == this->get_location_id())
+          continue;
+        async_rmi<task_graph>(l, this->get_handle(),
+                              &task_graph::handle_done);
+      }
+      handle_done();
+    }
+  }
+
+  /// Everywhere: the whole graph completed; stop scheduling.
+  void handle_done() { m_done.store(true, std::memory_order_release); }
+
+ private:
+  struct task {
+    work_fn work;
+    P payload{};
+    location_id owner = 0;
+    task_options opts;
+    /// (successor, input slot) pairs, in add_dependence order.
+    std::vector<std::pair<task_id, std::uint32_t>> succ_slots;
+    std::uint32_t n_inputs = 0;  ///< dependences declared on this replica
+    std::uint32_t arrived = 0;   ///< input values delivered (owner side)
+    std::vector<E> inputs;       ///< slot-indexed input values (owner side)
+    E value{};                   ///< result (owner side, after completion)
+    bool queued = false;         ///< entered the ready queue
+    bool done = false;           ///< completed (authoritative at owner)
+  };
+
+  struct ready_item {
+    task_id id = 0;
+    bool stolen = false;
+    std::vector<E> inputs;  ///< set for stolen items; owned items read the
+                            ///< task record
+    P payload{};            ///< set for stolen items
+  };
+
+  /// Requires m_mutex held.
+  void deliver_locked(task_id t, std::uint32_t slot, E v)
+  {
+    assert(t < m_tasks.size());
+    task& tk = m_tasks[t];
+    if (tk.inputs.size() <= slot)
+      tk.inputs.resize(slot + 1);
+    tk.inputs[slot] = std::move(v);
+    tk.arrived += 1;
+    // Readiness is only decided once this location finished building its
+    // replica (n_inputs is final then); seed() re-scans for early arrivals.
+    if (m_started && tk.owner == this->get_location_id() &&
+        tk.arrived == tk.n_inputs && !tk.queued) {
+      tk.queued = true;
+      m_ready.push_back(ready_item{t, false, {}, P{}});
+    }
+  }
+
+  void seed()
+  {
+    bool quiesced = false;
+    {
+      std::lock_guard lock(m_mutex);
+      assert(!m_started && "task_graph::execute() is one-shot");
+      m_started = true;
+      m_local_remaining = 0;
+      for (auto& [t, slot, v] : m_early)
+        deliver_locked(t, slot, std::move(v));
+      m_early.clear();
+      for (task_id t = 0; t < m_tasks.size(); ++t) {
+        task& tk = m_tasks[t];
+        if (tk.owner != this->get_location_id())
+          continue;
+        m_local_remaining += 1;
+        if (tk.arrived == tk.n_inputs && !tk.queued) {
+          tk.queued = true;
+          m_ready.push_back(ready_item{t, false, {}, P{}});
+        }
+      }
+      // Stealing needs the full protocol; a steal-free graph (the common
+      // chunked-map default) runs in local-drain mode with no
+      // termination traffic.  m_has_stealable is identical everywhere
+      // when the descriptor is replicated, and local-only graphs never
+      // mark tasks stealable, so the mode is SPMD-consistent.
+      m_steal_mode = m_steal_enabled && m_has_stealable &&
+                     this->get_num_locations() > 1;
+      quiesced = m_steal_mode && m_local_remaining == 0;
+      // Victim preference: most owned tasks first (replicated descriptor,
+      // so every location computes the same loads), ties toward lower id.
+      if (m_steal_mode) {
+        std::vector<std::size_t> owned(this->get_num_locations(), 0);
+        for (auto const& tk : m_tasks)
+          owned[tk.owner] += 1;
+        for (location_id l = 0; l < this->get_num_locations(); ++l)
+          if (l != this->get_location_id())
+            m_victims.push_back(l);
+        std::sort(m_victims.begin(), m_victims.end(),
+                  [&](location_id a, location_id b) {
+                    return owned[a] != owned[b] ? owned[a] > owned[b] : a < b;
+                  });
+      }
+    }
+    if (quiesced)
+      send_quiesced();
+  }
+
+  /// Runs one ready task; false when none is queued.
+  bool run_one()
+  {
+    ready_item item;
+    {
+      std::lock_guard lock(m_mutex);
+      if (m_ready.empty())
+        return false;
+      item = std::move(m_ready.front());
+      m_ready.pop_front();
+      if (!item.stolen) {
+        task& tk = m_tasks[item.id];
+        item.inputs = std::move(tk.inputs);
+        item.payload = std::move(tk.payload);
+      }
+    }
+    // The task vector is frozen during execution (add_task asserts), so the
+    // record reference stays valid across the unlocked work invocation.
+    task const& tk = m_tasks[item.id];
+    E result = tk.work(item.inputs, item.payload);
+
+    for (auto const& [succ, slot] : tk.succ_slots) {
+      location_id const so = m_tasks[succ].owner;
+      if (so == this->get_location_id()) {
+        handle_value(succ, slot, result);
+      } else {
+        m_stats.values_sent += 1;
+        async_rmi<task_graph>(so, this->get_handle(),
+                              &task_graph::handle_value, succ, slot, result);
+      }
+    }
+    m_stats.tasks_run += 1;
+
+    if (item.stolen) {
+      async_rmi<task_graph>(tk.owner, this->get_handle(),
+                            &task_graph::handle_complete, item.id,
+                            std::move(result));
+    } else {
+      bool quiesced = false;
+      {
+        std::lock_guard lock(m_mutex);
+        task& mine = m_tasks[item.id];
+        mine.done = true;
+        mine.value = std::move(result);
+        quiesced = (--m_local_remaining == 0) && m_steal_mode;
+      }
+      if (quiesced)
+        send_quiesced();
+    }
+    return true;
+  }
+
+  void maybe_steal(unsigned idle_rounds)
+  {
+    if (!m_steal_enabled || !m_has_stealable || m_victims.empty())
+      return;
+    if (m_done.load(std::memory_order_acquire))
+      return;
+    if (m_steal_inflight.load(std::memory_order_acquire))
+      return;
+    {
+      std::lock_guard lock(m_mutex);
+      // After a full circle of empty-handed requests, slow down: retry a
+      // victim only every few idle rounds instead of hammering the system
+      // while a dependence chain drains elsewhere.
+      if (m_fail_streak >= m_victims.size() && idle_rounds % 32 != 0)
+        return;
+    }
+    m_steal_inflight.store(true, std::memory_order_release);
+    location_id victim;
+    {
+      std::lock_guard lock(m_mutex);
+      victim = m_victims[m_victim_rr++ % m_victims.size()];
+    }
+    async_rmi<task_graph>(victim, this->get_handle(),
+                          &task_graph::handle_steal_request,
+                          this->get_location_id());
+  }
+
+  void send_quiesced()
+  {
+    if (this->get_location_id() == 0) {
+      handle_quiesced();
+      return;
+    }
+    async_rmi<task_graph>(0, this->get_handle(), &task_graph::handle_quiesced);
+  }
+
+  mutable std::mutex m_mutex;
+  std::vector<task> m_tasks;
+  /// Values that arrived before this replica's construction finished.
+  std::vector<std::tuple<task_id, std::uint32_t, E>> m_early;
+  std::deque<ready_item> m_ready;
+  std::vector<location_id> m_victims;  ///< steal order (desc. owned tasks)
+  std::size_t m_victim_rr = 0;
+  std::size_t m_local_remaining = 0;
+  std::size_t m_fail_streak = 0;
+  bool m_started = false;
+  bool m_steal_enabled = true;
+  bool m_has_stealable = false;
+  bool m_steal_mode = false;  ///< decided in seed() from the descriptor
+  std::atomic<bool> m_steal_inflight{false};
+  std::atomic<bool> m_done{false};
+  std::atomic<unsigned> m_quiesced{0};  ///< location 0 only
+  task_graph_stats m_stats;
+};
+
+// ---------------------------------------------------------------------------
+// Coarsening heuristic and execution policy
+// ---------------------------------------------------------------------------
+
+/// Elements per chunk task when the caller does not choose: aim for several
+/// tasks per location so the tail can be stolen/overlapped, but never chunks
+/// so small that per-task overhead shows.  Seeded from the container size
+/// and num_locations() (Ch. VII granularity discussion; cf. sptl's
+/// granularity control).
+[[nodiscard]] inline std::size_t default_grain(std::size_t total_elements)
+{
+  constexpr std::size_t tasks_per_location = 8;
+  constexpr std::size_t min_grain = 512;
+  std::size_t const per_loc =
+      total_elements / std::max(1u, num_locations());
+  return std::max<std::size_t>(min_grain,
+                               per_loc / tasks_per_location);
+}
+
+/// How a chunked factory schedules its tasks.
+struct exec_policy {
+  std::size_t grain = 0;  ///< elements per chunk task (0 = default_grain)
+  /// Chunk tasks may execute on any location when true.  Off by default:
+  /// every chunk then runs on its bView's location, preserving the
+  /// classic per-location execution contract even for work functions
+  /// with location-local side effects.  Opt in for locality-free or
+  /// read-only chunks whose per-element work dwarfs routed element
+  /// access — the work-stealing candidates of the PARAGRAPH model.
+  bool stealable = false;
+  bool steal = true;  ///< executor-wide stealing toggle for this graph
+};
+
+namespace tg_detail {
+
+/// View whose elements have a local fast path (chunks of such views stay on
+/// their owner unless the caller opts in — remote fallback access would
+/// dominate stolen-chunk runtime for cheap work functions).
+template <typename V>
+concept locality_bound_view = requires(V v, typename V::gid_type g) {
+  { v.try_local_ref(g) };
+};
+
+/// Result type of a map functor invocable as mapf(gid, value) or
+/// mapf(value).
+template <typename Map, typename G, typename V>
+struct map_result {
+  static auto probe()
+  {
+    if constexpr (std::is_invocable_v<Map&, G, V>)
+      return std::type_identity<std::invoke_result_t<Map&, G, V>>{};
+    else
+      return std::type_identity<std::invoke_result_t<Map&, V>>{};
+  }
+  using type = typename decltype(probe())::type;
+};
+
+template <typename V>
+concept has_member_chunks = requires(V v, std::size_t g) {
+  { v.chunks(g) };
+};
+
+/// Splits an ordered GID sequence into contiguous runs of ~grain elements.
+template <typename G>
+[[nodiscard]] std::vector<std::vector<G>> chunk_gids(std::vector<G> gids,
+                                                     std::size_t grain)
+{
+  std::vector<std::vector<G>> out;
+  if (gids.empty())
+    return out;
+  grain = std::max<std::size_t>(1, grain);
+  out.reserve((gids.size() + grain - 1) / grain);
+  for (std::size_t i = 0; i < gids.size(); i += grain) {
+    std::size_t const n = std::min(grain, gids.size() - i);
+    out.emplace_back(gids.begin() + static_cast<std::ptrdiff_t>(i),
+                     gids.begin() + static_cast<std::ptrdiff_t>(i + n));
+  }
+  return out;
+}
+
+/// This location's bView, coarsened: the view's own chunks(grain) when it
+/// has one, else fixed-size runs of local_gids().
+template <typename V>
+[[nodiscard]] auto view_chunks(V const& v, std::size_t grain)
+{
+  if constexpr (has_member_chunks<V>)
+    return v.chunks(grain);
+  else
+    return chunk_gids(v.local_gids(), grain);
+}
+
+/// Whether this call's chunk tasks are steal candidates: strictly opt-in
+/// (see exec_policy::stealable) — the policy object is where callers
+/// declare their chunks locality-free/read-only enough to travel.
+template <typename V>
+[[nodiscard]] bool stealable_for(exec_policy const& pol)
+{
+  return pol.stealable;
+}
+
+/// Builds and runs one chunk-task graph over `v`: `body(gid)` per element.
+/// When the chunks are stealable, chunk counts are allgathered so every
+/// location replicates the full descriptor (stealing resolves task ids
+/// across locations); each location attaches its own chunks as payloads.
+/// In the default non-stealable case no location ever references another
+/// location's tasks, so each builds only its own chunk tasks — no
+/// metadata exchange at all — and the executor's local-drain schedule
+/// plus trailing fence match the classic one-task-per-location map.
+template <typename View, typename PerGid>
+void chunked_for_each_gid(View const& v, exec_policy pol, PerGid body)
+{
+  using gid_type = typename View::gid_type;
+  std::size_t const grain =
+      std::max<std::size_t>(1, pol.grain ? pol.grain
+                                         : default_grain(v.size()));
+  task_options const opts{stealable_for<View>(pol) && pol.steal &&
+                          num_locations() > 1};
+  // One work-function instance per location, shared by its chunk tasks (and
+  // by any replica a thief runs), so stateful work functions behave as they
+  // did with one task per location.
+  auto shared_body = std::make_shared<PerGid>(std::move(body));
+  if (!opts.stealable) {
+    // Local chunk tasks over index ranges of one shared bView snapshot —
+    // no payload copies, no descriptor replication (see above).
+    auto const gids =
+        std::make_shared<std::vector<gid_type>>(v.local_gids());
+    task_graph<char> tg;
+    tg.set_stealing(false);
+    std::size_t const n = gids->size();
+    for (std::size_t i = 0; i < n; i += grain) {
+      std::size_t const e = std::min(n, i + grain);
+      tg.add_task(this_location(),
+                  [gids, shared_body, i, e](std::vector<char> const&,
+                                            char const&) {
+                    for (std::size_t j = i; j != e; ++j)
+                      (*shared_body)((*gids)[j]);
+                    return char{};
+                  });
+    }
+    tg.execute();
+    return;
+  }
+  auto chunks = view_chunks(v, grain);
+  auto work = [shared_body](std::vector<char> const&,
+                            std::vector<gid_type> const& gids) {
+    for (auto const& g : gids)
+      (*shared_body)(g);
+    return char{};
+  };
+  task_graph<char, std::vector<gid_type>> tg;
+  tg.set_stealing(pol.steal);
+  auto const counts = allgather(chunks.size());
+  for (location_id l = 0; l < num_locations(); ++l) {
+    for (std::size_t k = 0; k < counts[l]; ++k) {
+      if (l == this_location())
+        tg.add_task(l, work, std::move(chunks[k]), opts);
+      else
+        tg.add_task(l, work, {}, opts);
+    }
+  }
+  tg.execute();
+}
+
+} // namespace tg_detail
+
+// ---------------------------------------------------------------------------
+// map_func — the Ch. VII.A elementary factory, coarsened
+// ---------------------------------------------------------------------------
+
+/// Applies `wf` to every element of the view as chunk tasks (many per
+/// location).  Collective; ends with a fence and the view's post_execute.
+template <typename WF, typename View>
+void map_func(WF wf, View v, exec_policy pol = {})
+{
+  auto shared_wf = std::make_shared<WF>(std::move(wf));
+  tg_detail::chunked_for_each_gid(
+      v, pol, [shared_wf, v](typename View::gid_type g) mutable {
+        auto f = [&](auto& x) { (*shared_wf)(x); };
+        if constexpr (tg_detail::locality_bound_view<View>) {
+          if (auto* p = v.try_local_ref(g)) {
+            f(*p);
+            return;
+          }
+        }
+        auto x = v.read(g);
+        f(x);
+        if constexpr (requires { v.write(g, x); })
+          v.write(g, x);
+      });
+  v.post_execute();
+}
+
+// ---------------------------------------------------------------------------
+// tree_reduce — map_reduce as a dependence tree (no intermediate fences)
+// ---------------------------------------------------------------------------
+
+/// Reduces mapf(element) over the whole view with `redf` (associative).
+/// Leaf chunk tasks fold locally and feed a per-location partial task;
+/// the root folds the partials in location order — the same fold order an
+/// allgather-based combine would use — and per-location sink tasks fan the
+/// result out, so every location returns the value with exactly two
+/// cross-location value hops and no broadcast.  `mapf` is invoked as
+/// mapf(value) or mapf(gid, value).  In the default non-stealable case
+/// leaves are index ranges over one shared bView snapshot (no payload
+/// copies) and the pure-read graph skips the trailing fence; stealable
+/// leaves carry their chunk GIDs so thieves can run them.  Returns
+/// nullopt for empty views.  Collective.
+template <typename View, typename Map, typename Reduce>
+[[nodiscard]] auto tree_reduce(View v, Map mapf, Reduce redf,
+                               exec_policy pol = {})
+{
+  using gid_type = typename View::gid_type;
+  using T = typename tg_detail::map_result<Map, gid_type,
+                                           typename View::value_type>::type;
+  using EV = std::pair<T, bool>;  ///< (partial, nonempty)
+
+  std::size_t const grain =
+      std::max<std::size_t>(1, pol.grain ? pol.grain
+                                         : default_grain(v.size()));
+  bool const steal_chunks = tg_detail::stealable_for<View>(pol) &&
+                            pol.steal && num_locations() > 1;
+
+  auto fold_one = [v, mapf, redf](EV acc, gid_type const& g) mutable {
+    T m = [&]() -> T {
+      if constexpr (std::is_invocable_v<Map&, gid_type,
+                                        typename View::value_type>)
+        return mapf(g, v.read(g));
+      else
+        return mapf(v.read(g));
+    }();
+    if (!acc.second)
+      return EV{std::move(m), true};
+    return EV{redf(std::move(acc.first), std::move(m)), true};
+  };
+  auto combine_work = [redf](std::vector<EV> const& ins, auto const&) {
+    EV out{T{}, false};
+    for (auto const& in : ins) {
+      if (!in.second)
+        continue;
+      out = out.second ? EV{redf(out.first, in.first), true} : in;
+    }
+    return out;
+  };
+  auto sink_work = [](std::vector<EV> const& ins, auto const&) {
+    return ins.at(0);
+  };
+
+  // Two-level combine tree over the (replicated) leaf ids: leaves ->
+  // per-location partial -> root (location order) -> per-location sinks.
+  auto wire = [&](auto& tg, std::vector<std::size_t> const& counts,
+                  auto&& leaf_for) {
+    using tid = typename std::remove_reference_t<decltype(tg)>::task_id;
+    std::vector<tid> partials;
+    for (location_id l = 0; l < num_locations(); ++l) {
+      std::vector<tid> leaves;
+      for (std::size_t k = 0; k < counts[l]; ++k)
+        leaves.push_back(leaf_for(l, k));
+      tid const partial = tg.add_task(l, combine_work);
+      for (tid const leaf : leaves)
+        tg.add_dependence(leaf, partial);
+      partials.push_back(partial);
+    }
+    tid const root = tg.add_task(0, combine_work);
+    for (tid const partial : partials)
+      tg.add_dependence(partial, root);
+    std::vector<tid> sinks;
+    for (location_id l = 0; l < num_locations(); ++l) {
+      tid const s = tg.add_task(l, sink_work);
+      tg.add_dependence(root, s);
+      sinks.push_back(s);
+    }
+    return sinks;
+  };
+
+  if (!steal_chunks) {
+    auto const gids =
+        std::make_shared<std::vector<gid_type>>(v.local_gids());
+    std::size_t const n = gids->size();
+    auto const counts = allgather((n + grain - 1) / grain);
+    std::size_t total = 0;
+    for (auto c : counts)
+      total += c;
+    if (total == 0)
+      return std::optional<T>{};
+    task_graph<EV> tg;
+    tg.set_stealing(false);
+    auto leaf_for = [&](location_id l, std::size_t k) {
+      if (l != this_location()) {
+        // Placeholder replica of a peer's owner-pinned leaf: keeps task
+        // ids aligned across locations, never runs.
+        return tg.add_task(l, [](std::vector<EV> const&, char const&) {
+          return EV{T{}, false};
+        });
+      }
+      std::size_t const b = k * grain;
+      std::size_t const e = std::min(n, b + grain);
+      return tg.add_task(
+          l, [gids, fold_one, b, e](std::vector<EV> const&,
+                                    char const&) mutable {
+            EV acc{T{}, false};
+            for (std::size_t j = b; j != e; ++j)
+              acc = fold_one(std::move(acc), (*gids)[j]);
+            return acc;
+          });
+    };
+    auto const sinks = wire(tg, counts, leaf_for);
+    tg.execute_drain_only();
+    EV const out = tg.result_of(sinks[this_location()]);
+    return out.second ? std::optional<T>(out.first) : std::optional<T>{};
+  }
+
+  auto chunks = tg_detail::view_chunks(v, grain);
+  auto const counts = allgather(chunks.size());
+  std::size_t total = 0;
+  for (auto c : counts)
+    total += c;
+  if (total == 0)
+    return std::optional<T>{};
+  task_graph<EV, std::vector<gid_type>> tg;
+  tg.set_stealing(pol.steal);
+  task_options const stealable{true};
+  auto leaf_work = [fold_one](std::vector<EV> const&,
+                              std::vector<gid_type> const& gs) mutable {
+    EV acc{T{}, false};
+    for (auto const& g : gs)
+      acc = fold_one(std::move(acc), g);
+    return acc;
+  };
+  auto leaf_for = [&](location_id l, std::size_t k) {
+    return l == this_location()
+               ? tg.add_task(l, leaf_work, std::move(chunks[k]), stealable)
+               : tg.add_task(l, leaf_work, {}, stealable);
+  };
+  auto const sinks = wire(tg, counts, leaf_for);
+  tg.execute();
+  EV const out = tg.result_of(sinks[this_location()]);
+  return out.second ? std::optional<T>(out.first) : std::optional<T>{};
+}
+
+} // namespace stapl
+
+#endif

@@ -27,15 +27,17 @@
 #include <vector>
 
 #include "../core/container_base.hpp"
+#include "../runtime/task_graph.hpp"
 
 namespace stapl {
 
 namespace view_detail {
 
+/// Single definition lives with the executor (tg_detail::
+/// locality_bound_view) — it drives default chunk stealability there and
+/// the element fast path here, and must never diverge.
 template <typename V>
-concept has_local_ref = requires(V v, typename V::gid_type g) {
-  { v.try_local_ref(g) };
-};
+concept has_local_ref = tg_detail::locality_bound_view<V>;
 
 } // namespace view_detail
 
@@ -78,6 +80,14 @@ class array_1d_view {
     return (*m_c)[g];
   }
 
+  /// This location's bView coarsened into ~grain-element chunk GID runs
+  /// (the task-graph executor's coarsening API; see runtime/task_graph.hpp).
+  [[nodiscard]] std::vector<std::vector<gid_type>> chunks(
+      std::size_t grain) const
+  {
+    return tg_detail::chunk_gids(local_gids(), grain);
+  }
+
   /// Refreshes container metadata after a parallel phase (Ch. VII.H).
   void post_execute() {}
 
@@ -108,6 +118,14 @@ class array_1d_ro_view {
   {
     return m_c->local_element_ptr(g);
   }
+  /// This location's bView coarsened into ~grain-element chunk GID runs
+  /// (the task-graph executor's coarsening API; see runtime/task_graph.hpp).
+  [[nodiscard]] std::vector<std::vector<gid_type>> chunks(
+      std::size_t grain) const
+  {
+    return tg_detail::chunk_gids(local_gids(), grain);
+  }
+
   void post_execute() {}
 
  private:
@@ -156,6 +174,14 @@ class balanced_view {
   {
     return m_c->local_element_ptr(g);
   }
+  /// This location's bView coarsened into ~grain-element chunk GID runs
+  /// (the task-graph executor's coarsening API; see runtime/task_graph.hpp).
+  [[nodiscard]] std::vector<std::vector<gid_type>> chunks(
+      std::size_t grain) const
+  {
+    return tg_detail::chunk_gids(local_gids(), grain);
+  }
+
   void post_execute() {}
 
  private:
@@ -326,6 +352,14 @@ class counting_view {
   {
     return m_start + static_cast<T>(g);
   }
+  /// This location's bView coarsened into ~grain-element chunk GID runs
+  /// (the task-graph executor's coarsening API; see runtime/task_graph.hpp).
+  [[nodiscard]] std::vector<std::vector<gid_type>> chunks(
+      std::size_t grain) const
+  {
+    return tg_detail::chunk_gids(local_gids(), grain);
+  }
+
   void post_execute() {}
 
  private:
@@ -441,6 +475,14 @@ class native_view {
   {
     m_c->for_each_local(std::forward<F>(f));
   }
+  /// This location's bView coarsened into ~grain-element chunk GID runs
+  /// (the task-graph executor's coarsening API; see runtime/task_graph.hpp).
+  [[nodiscard]] std::vector<std::vector<gid_type>> chunks(
+      std::size_t grain) const
+  {
+    return tg_detail::chunk_gids(local_gids(), grain);
+  }
+
   void post_execute() {}
 
  private:

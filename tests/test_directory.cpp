@@ -5,6 +5,7 @@
 // migration protocol on pArray / pMap / pGraph — on both transports with
 // at least 4 locations.
 
+#include "algorithms/p_algorithms.hpp"
 #include "containers/p_array.hpp"
 #include "containers/p_associative.hpp"
 #include "containers/p_graph.hpp"
@@ -433,7 +434,7 @@ TEST_P(directory_test, EraseRetiresDirectoryState)
 
 // Migrating a multimap key moves exactly one occurrence; the remaining
 // duplicates stay in place (total element count is preserved).
-TEST_P(directory_test, MultimapMigratesSingleOccurrence)
+TEST_P(directory_test, MultimapMigratesEqualRangeAtomically)
 {
   execute(config_for(GetParam(), 4), [] {
     p_multimap<int, long> pm;
@@ -451,6 +452,108 @@ TEST_P(directory_test, MultimapMigratesSingleOccurrence)
 
     EXPECT_EQ(pm.size(), 3u) << "migration must not destroy duplicates";
     EXPECT_EQ(pm.is_local(k), this_location() == 2);
+    // The whole equal range moved with the key: the routed count sees all
+    // three occurrences at the new owner, and no stranded occurrence stays
+    // behind in any other location's bContainers.
+    EXPECT_EQ(pm.count(k), 3u);
+    std::size_t stranded = 0;
+    pm.for_each_local([&](int key, long&) {
+      if (key == k && this_location() != 2)
+        ++stranded;
+    });
+    EXPECT_EQ(stranded, 0u) << "occurrences left behind at the old owner";
+    // The values are the original equal range.
+    if (this_location() == 2) {
+      long sum = 0;
+      pm.for_each_local([&](int key, long& v) {
+        if (key == k)
+          sum += v;
+      });
+      EXPECT_EQ(sum, 10 + 11 + 12);
+    }
+    rmi_fence();
+  });
+}
+
+TEST_P(directory_test, MultisetMigratesEqualRangeAtomically)
+{
+  execute(config_for(GetParam(), 4), [] {
+    p_multiset<int> ps;
+    ps.make_dynamic();
+    int const k = 9;
+    if (this_location() == 0)
+      for (int i = 0; i < 4; ++i)
+        ps.insert_async(k);
+    rmi_fence();
+    EXPECT_EQ(ps.size(), 4u);
+    EXPECT_EQ(ps.count(k), 4u);
+
+    if (this_location() == 3)
+      migrate(ps, k, 1);
+    rmi_fence();
+
+    EXPECT_EQ(ps.size(), 4u) << "migration must not destroy duplicates";
+    EXPECT_EQ(ps.is_local(k), this_location() == 1);
+    EXPECT_EQ(ps.count(k), 4u) << "equal range must move atomically";
+    rmi_fence(); // everyone observes placement before it changes again
+    // And it can move again, still intact.
+    if (this_location() == 0)
+      migrate(ps, k, 2);
+    rmi_fence();
+    EXPECT_EQ(ps.is_local(k), this_location() == 2);
+    EXPECT_EQ(ps.count(k), 4u);
+    rmi_fence();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Native local traversals of dynamic indexed containers (ROADMAP PR-1
+// follow-up): local_gids()/for_each_local must follow current ownership —
+// migrated-away slots disappear, adopted overflow elements appear.
+// ---------------------------------------------------------------------------
+
+TEST_P(directory_test, DynamicIndexedLocalTraversalFollowsOwnership)
+{
+  unsigned const p = 4;
+  execute(config_for(GetParam(), p), [] {
+    std::size_t const n = 8 * num_locations();
+    p_array<long> pa(n, 0);
+    array_1d_view v(pa);
+    p_for_each_gid(v, [](gid1d g, long& x) { x = static_cast<long>(g); });
+    pa.make_dynamic();
+
+    // Location 0's first four elements scatter over the other locations.
+    if (this_location() == 0)
+      for (gid1d g = 0; g < 4; ++g)
+        pa.migrate(g, 1 + static_cast<location_id>(g % (num_locations() - 1)));
+    rmi_fence();
+
+    auto const gids = pa.local_gids();
+    for (auto g : gids) {
+      EXPECT_TRUE(pa.is_local(g)) << "local_gids listed a departed slot";
+      if (g < 4)
+        EXPECT_NE(this_location(), 0u)
+            << "migrated-away element still listed at the source";
+    }
+    // Exactly-once cover: the union over locations is the whole domain.
+    auto const total = allreduce(gids.size(), std::plus<>{});
+    EXPECT_EQ(total, n);
+
+    // for_each_local visits adopted elements (with their values) too.
+    long local_sum = 0;
+    std::size_t visited = 0;
+    pa.for_each_local([&](gid1d, long& x) {
+      local_sum += x;
+      ++visited;
+    });
+    EXPECT_EQ(visited, gids.size());
+    long const global_sum = allreduce(local_sum, std::plus<>{});
+    EXPECT_EQ(global_sum, static_cast<long>(n * (n - 1) / 2));
+
+    // A chunked algorithm over the native bView sees every element exactly
+    // once despite the scattered placement.
+    EXPECT_EQ(p_accumulate(array_1d_view(pa), 0L),
+              static_cast<long>(n * (n - 1) / 2));
     rmi_fence();
   });
 }

@@ -91,9 +91,9 @@ TEST(space_saving_tracker, ZeroCapacityTracksNothing)
 TEST(greedy_plan, DrainsOverloadedLocationDeterministically)
 {
   std::vector<std::uint64_t> const loads{1000, 0, 0, 0};
-  std::vector<std::vector<std::pair<std::size_t, std::uint64_t>>> hot(4);
+  std::vector<std::vector<lb_detail::hot_candidate<std::size_t>>> hot(4);
   for (std::size_t g = 0; g < 16; ++g)
-    hot[0].emplace_back(g, 250 - 10 * g); // hottest first, sums ~ loads[0]
+    hot[0].push_back({g, 250 - 10 * g, 8}); // hottest first, sums ~ loads[0]
 
   auto const plan_a = lb_detail::greedy_plan<std::size_t>(loads, hot, 64);
   auto const plan_b = lb_detail::greedy_plan<std::size_t>(loads, hot, 64);
@@ -116,11 +116,58 @@ TEST(greedy_plan, DrainsOverloadedLocationDeterministically)
   EXPECT_LT(lb_detail::imbalance_of(projected), 1.5);
 }
 
+TEST(greedy_plan, PrefersDenserElementsAndReportsBytes)
+{
+  // Two donors' worth of load on location 0; the candidates tie on count
+  // but differ wildly in payload size.  The density ordering must drain
+  // with the small elements first, so the same load moves for a fraction
+  // of the bytes.
+  std::vector<std::uint64_t> const loads{800, 0, 0, 0};
+  std::vector<std::vector<lb_detail::hot_candidate<std::size_t>>> hot(4);
+  hot[0].push_back({0, 200, 1 << 20}); // hot but huge (1 MiB)
+  hot[0].push_back({1, 200, 16});
+  hot[0].push_back({2, 200, 16});
+  hot[0].push_back({3, 200, 16});
+
+  auto const plan = lb_detail::greedy_plan<std::size_t>(loads, hot, 64);
+  ASSERT_GE(plan.size(), 3u);
+  // The three small elements drain first (density order), carrying their
+  // byte estimates with them.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NE(plan[i].gid, 0u) << "huge element planned before small ones";
+    EXPECT_EQ(plan[i].bytes, 16u);
+  }
+  std::uint64_t bytes = 0;
+  for (auto const& mv : plan)
+    bytes += mv.bytes;
+  EXPECT_LT(bytes, (1u << 20))
+      << "moving the huge element was not needed to reach the mean";
+}
+
+TEST(greedy_plan, WaveByteBudgetCapsTransfers)
+{
+  std::vector<std::uint64_t> const loads{900, 0, 0};
+  std::vector<std::vector<lb_detail::hot_candidate<std::size_t>>> hot(3);
+  for (std::size_t g = 0; g < 8; ++g)
+    hot[0].push_back({g, 100, 100});
+
+  auto const capped =
+      lb_detail::greedy_plan<std::size_t>(loads, hot, 64, /*max_bytes=*/250);
+  std::uint64_t bytes = 0;
+  for (auto const& mv : capped)
+    bytes += mv.bytes;
+  EXPECT_LE(bytes, 250u);
+  EXPECT_EQ(capped.size(), 2u);
+
+  auto const uncapped = lb_detail::greedy_plan<std::size_t>(loads, hot, 64);
+  EXPECT_GT(uncapped.size(), capped.size());
+}
+
 TEST(greedy_plan, NoMovesWhenBalancedOrIdle)
 {
-  std::vector<std::vector<std::pair<std::size_t, std::uint64_t>>> hot(4);
+  std::vector<std::vector<lb_detail::hot_candidate<std::size_t>>> hot(4);
   for (auto& h : hot)
-    h.emplace_back(1, 100);
+    h.push_back({1, 100, 8});
   EXPECT_TRUE(lb_detail::greedy_plan<std::size_t>({100, 100, 100, 100}, hot, 64)
                   .empty());
   EXPECT_TRUE(
@@ -167,6 +214,8 @@ TEST_P(load_balancer_test, SkewedArrayConvergesBelowThreshold)
         triggered += 1;
         EXPECT_GT(rep.imbalance_before, cfg.imbalance_threshold);
         EXPECT_GT(rep.moves, 0u);
+        // Transfer cost is reported: one fixed-size long per move.
+        EXPECT_EQ(rep.bytes_moved, rep.moves * sizeof(long));
       } else {
         converged = true; // measured spread within tolerance: done
       }

@@ -1,0 +1,391 @@
+// Unit tests for the PARAGRAPH-style task-graph executor
+// (runtime/task_graph.hpp): coarsened chunk tasks, value-carrying
+// dependence edges across locations, cross-location work stealing
+// (determinism of results, not schedules), exactly-once chunk execution
+// under concurrent element migration, and the scheduler stats — on both
+// transports with at least 4 locations.
+
+#include "algorithms/p_algorithms.hpp"
+#include "containers/p_array.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/task_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace stapl;
+
+runtime_config config_for(transport_kind t, unsigned p)
+{
+  runtime_config cfg;
+  cfg.num_locations = p;
+  cfg.transport = t;
+  return cfg;
+}
+
+class task_graph_test : public ::testing::TestWithParam<transport_kind> {};
+
+INSTANTIATE_TEST_SUITE_P(Transports, task_graph_test,
+                         ::testing::Values(transport_kind::queue,
+                                           transport_kind::direct),
+                         [](auto const& info) {
+                           return info.param == transport_kind::queue
+                                      ? "queue"
+                                      : "direct";
+                         });
+
+// ---------------------------------------------------------------------------
+// Value-carrying dependence edges
+// ---------------------------------------------------------------------------
+
+TEST_P(task_graph_test, ValueChainAcrossLocations)
+{
+  execute(config_for(GetParam(), 4), [] {
+    task_graph<long> tg;
+    using tid = task_graph<long>::task_id;
+    // A 16-task chain snaking over the locations; each link adds its index.
+    tid prev = 0;
+    long expect = 0;
+    for (int i = 0; i < 16; ++i) {
+      tid const t = tg.add_task(
+          static_cast<location_id>(i % num_locations()),
+          [i](std::vector<long> const& ins, char const&) {
+            return (ins.empty() ? 0L : ins[0]) + i;
+          });
+      if (i > 0)
+        tg.add_dependence(prev, t);
+      prev = t;
+      expect += i;
+    }
+    // Fan the chain's result out to a sink per location.
+    std::vector<tid> sinks;
+    for (location_id l = 0; l < num_locations(); ++l) {
+      sinks.push_back(tg.add_task(
+          l, [](std::vector<long> const& ins, char const&) {
+            return ins.at(0);
+          }));
+      tg.add_dependence(prev, sinks.back());
+    }
+    tg.execute();
+    EXPECT_EQ(tg.result_of(sinks[this_location()]), expect);
+    rmi_fence();
+  });
+}
+
+TEST_P(task_graph_test, DiamondDeliversBothValues)
+{
+  execute(config_for(GetParam(), 4), [] {
+    task_graph<long> tg;
+    auto const src = tg.add_task(
+        0, [](std::vector<long> const&, char const&) { return 7L; });
+    auto const left = tg.add_task(
+        1 % num_locations(), [](std::vector<long> const& ins, char const&) {
+          return ins.at(0) * 2;
+        });
+    auto const right = tg.add_task(
+        2 % num_locations(), [](std::vector<long> const& ins, char const&) {
+          return ins.at(0) * 3;
+        });
+    auto const join = tg.add_task(
+        3 % num_locations(), [](std::vector<long> const& ins, char const&) {
+          return ins.at(0) + ins.at(1);
+        });
+    tg.add_dependence(src, left);
+    tg.add_dependence(src, right);
+    tg.add_dependence(left, join);
+    tg.add_dependence(right, join);
+    tg.execute();
+    if (this_location() == 3 % num_locations())
+      EXPECT_EQ(tg.result_of(join), 7 * 2 + 7 * 3);
+    EXPECT_TRUE(tg.task_done(join) ||
+                this_location() != 3 % num_locations());
+    rmi_fence();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Coarsened chunk tasks
+// ---------------------------------------------------------------------------
+
+TEST_P(task_graph_test, ChunkedMapAppliesEveryElementOnce)
+{
+  execute(config_for(GetParam(), 4), [] {
+    std::size_t const n = 4000;
+    p_array<long> pa(n, 1);
+    array_1d_view v(pa);
+    // Tiny grain: many chunk tasks per location.
+    exec_policy pol;
+    pol.grain = 64;
+    map_func([](long& x) { x += 41; }, v, pol);
+    EXPECT_EQ(p_accumulate(v, 0L), static_cast<long>(n) * 42);
+    rmi_fence();
+  });
+}
+
+TEST_P(task_graph_test, ViewChunksRespectGrain)
+{
+  execute(config_for(GetParam(), 4), [] {
+    p_array<long> pa(1024);
+    array_1d_view v(pa);
+    auto const chunks = v.chunks(100);
+    std::size_t total = 0;
+    for (auto const& c : chunks) {
+      EXPECT_LE(c.size(), 100u);
+      EXPECT_FALSE(c.empty());
+      total += c.size();
+    }
+    EXPECT_EQ(total, pa.local_size());
+    // The heuristic grain stays within [min_grain, n].
+    EXPECT_GE(default_grain(pa.size()), 1u);
+    rmi_fence();
+  });
+}
+
+TEST_P(task_graph_test, TreeReduceMatchesReference)
+{
+  execute(config_for(GetParam(), 4), [] {
+    std::size_t const n = 3000;
+    p_array<long> pa(n);
+    array_1d_view v(pa);
+    p_for_each_gid(v, [](gid1d g, long& x) { x = static_cast<long>(g % 97); });
+
+    long ref = 0;
+    for (std::size_t g = 0; g < n; ++g)
+      ref += static_cast<long>(g % 97);
+
+    exec_policy pol;
+    pol.grain = 50; // deep combine tree
+    auto const sum = map_reduce(
+        v, [](long const& x) { return x; },
+        [](long a, long b) { return a + b; }, pol);
+    ASSERT_TRUE(sum.has_value());
+    EXPECT_EQ(*sum, ref);
+
+    // GID-arity map functor.
+    auto const weighted = map_reduce(
+        v, [](gid1d g, long const& x) { return static_cast<long>(g) + x; },
+        [](long a, long b) { return a + b; }, pol);
+    ASSERT_TRUE(weighted.has_value());
+    EXPECT_EQ(*weighted, ref + static_cast<long>(n * (n - 1) / 2));
+    rmi_fence();
+  });
+}
+
+TEST_P(task_graph_test, TreeReduceEmptyViewIsNullopt)
+{
+  execute(config_for(GetParam(), 4), [] {
+    p_array<long> pa(0);
+    auto const r = map_reduce(
+        array_1d_view(pa), [](long const& x) { return x; },
+        [](long a, long b) { return a + b; });
+    EXPECT_FALSE(r.has_value());
+    rmi_fence();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Work stealing
+// ---------------------------------------------------------------------------
+
+/// Builds a deliberately imbalanced graph: every stealable task is owned
+/// by location 0 and simulates a latency-bound chunk (sleep), returning a
+/// known value into a per-location sink.
+long run_imbalanced(bool steal, task_graph_stats* agg = nullptr,
+                    int tasks = 24)
+{
+  task_graph<long> tg;
+  tg.set_stealing(steal);
+  using tid = task_graph<long>::task_id;
+  task_options stealable;
+  stealable.stealable = true;
+  std::vector<tid> work;
+  for (int i = 0; i < tasks; ++i) {
+    work.push_back(tg.add_task(
+        0,
+        [i](std::vector<long> const&, char const&) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          return static_cast<long>(i * i);
+        },
+        {}, stealable));
+  }
+  std::vector<tid> sinks;
+  for (location_id l = 0; l < num_locations(); ++l) {
+    tid const s = tg.add_task(
+        l, [](std::vector<long> const& ins, char const&) {
+          return std::accumulate(ins.begin(), ins.end(), 0L);
+        });
+    for (tid const t : work)
+      tg.add_dependence(t, s);
+    sinks.push_back(s);
+  }
+  tg.execute();
+  if (agg)
+    *agg = tg.global_stats();
+  return tg.result_of(sinks[this_location()]);
+}
+
+TEST_P(task_graph_test, StealingPreservesResultsNotSchedules)
+{
+  execute(config_for(GetParam(), 4), [] {
+    long expect = 0;
+    for (int i = 0; i < 24; ++i)
+      expect += static_cast<long>(i) * i;
+
+    task_graph_stats stolen_stats;
+    long const with_steal = run_imbalanced(true, &stolen_stats);
+    EXPECT_EQ(with_steal, expect);
+    // Every task ran exactly once somewhere (24 work + P sinks).
+    EXPECT_EQ(stolen_stats.tasks_run, 24u + num_locations());
+    // The all-on-location-0 layout with sleeping tasks gives idle peers
+    // ample time to pull work over.
+    EXPECT_GT(stolen_stats.tasks_stolen, 0u)
+        << "no task was stolen from the overloaded location";
+    EXPECT_EQ(stolen_stats.tasks_stolen, stolen_stats.tasks_lost);
+
+    task_graph_stats pinned_stats;
+    long const without_steal = run_imbalanced(false, &pinned_stats);
+    EXPECT_EQ(without_steal, expect) << "result depends on the schedule";
+    EXPECT_EQ(pinned_stats.tasks_stolen, 0u);
+    EXPECT_EQ(pinned_stats.tasks_lost, 0u);
+    rmi_fence();
+  });
+}
+
+TEST_P(task_graph_test, NonStealableTasksStayHome)
+{
+  execute(config_for(GetParam(), 4), [] {
+    task_graph<long> tg; // stealing on, but nothing is marked stealable
+    for (int i = 0; i < 8; ++i) {
+      tg.add_task(0, [](std::vector<long> const&, char const&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return 0L;
+      });
+    }
+    tg.execute();
+    auto const stats = tg.global_stats();
+    EXPECT_EQ(stats.tasks_stolen, 0u);
+    EXPECT_EQ(stats.tasks_run, 8u);
+    rmi_fence();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Chunk tasks vs. concurrent element migration
+// ---------------------------------------------------------------------------
+
+TEST_P(task_graph_test, ChunkTasksExactlyOnceUnderConcurrentMigration)
+{
+  execute(config_for(GetParam(), 4), [] {
+    std::size_t const n = 64 * num_locations();
+    p_array<long> pa(n, 0);
+    pa.make_dynamic();
+
+    // Chunk tasks increment every element through the routed apply path
+    // (stealable: correct from any location) while migrator tasks scatter
+    // elements between locations mid-flight.
+    task_graph<char, std::vector<gid1d>> tg;
+    task_options stealable;
+    stealable.stealable = true;
+    auto const my_gids = pa.local_gids();
+    auto chunks = tg_detail::chunk_gids(my_gids, 16);
+    auto const counts = allgather(chunks.size());
+    auto work = [&pa](std::vector<char> const&,
+                      std::vector<gid1d> const& gids) {
+      for (auto g : gids)
+        pa.apply_set(g, [](long& x) { x += 1; });
+      return char{};
+    };
+    for (location_id l = 0; l < num_locations(); ++l)
+      for (std::size_t k = 0; k < counts[l]; ++k) {
+        if (l == this_location())
+          tg.add_task(l, work, std::move(chunks[k]), stealable);
+        else
+          tg.add_task(l, work, {}, stealable);
+      }
+    // One migrator task per location, interleaved with the increments:
+    // each scatters a slice of the domain to the next location over.
+    for (location_id l = 0; l < num_locations(); ++l)
+      tg.add_task(l, [&pa, n](std::vector<char> const&,
+                              std::vector<gid1d> const&) {
+        location_id const me = this_location();
+        for (std::size_t g = me; g < n; g += 2 * num_locations())
+          pa.migrate(g, (me + 1) % num_locations());
+        return char{};
+      });
+    tg.execute();
+
+    // Exactly once: every element was incremented exactly one time, no
+    // matter where its chunk ran or where the element went.
+    for (std::size_t g = 0; g < n; ++g)
+      EXPECT_EQ(pa.get_element(g), 1) << "gid " << g;
+
+    // And the traversal after the dust settles covers the domain exactly.
+    auto const total = allreduce(pa.local_gids().size(), std::plus<>{});
+    EXPECT_EQ(total, n);
+    rmi_fence();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// p_range compatibility shim
+// ---------------------------------------------------------------------------
+
+TEST_P(task_graph_test, PRangeShimRunsDependenceOrder)
+{
+  execute(config_for(GetParam(), 4), [] {
+    p_array<int> acc(1, 0);
+    p_range pr;
+    std::size_t prev = static_cast<std::size_t>(-1);
+    for (int i = 0; i < 8; ++i) {
+      auto const t = pr.add_task(
+          static_cast<location_id>(i % num_locations()),
+          [&acc] { acc.apply_set(0, [](int& x) { ++x; }); });
+      if (prev != static_cast<std::size_t>(-1))
+        pr.add_dependence(prev, t);
+      prev = t;
+    }
+    pr.execute();
+    EXPECT_EQ(acc.get_element(0), 8);
+    rmi_fence();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Stress: chunked algorithms + stealing + migration churn (sized for the
+// sanitizer CI job as well)
+// ---------------------------------------------------------------------------
+
+TEST_P(task_graph_test, StressMixedLoad)
+{
+  execute(config_for(GetParam(), 4), [] {
+    std::size_t const n = 96 * num_locations();
+    p_array<long> pa(n, 0);
+    array_1d_view v(pa);
+    pa.make_dynamic();
+
+    long expect_round = 0;
+    for (int round = 0; round < 3; ++round) {
+      exec_policy pol;
+      pol.grain = 8 + 13 * round;
+      p_for_each(v, [](long& x) { x += 2; }, pol);
+      expect_round += 2;
+      if (this_location() == round % num_locations())
+        for (std::size_t g = round; g < n; g += 5)
+          pa.migrate(g, (this_location() + 1 + round) % num_locations());
+      rmi_fence(); // placement settles before the next phase snapshots it
+      auto const sum = p_accumulate(v, 0L);
+      EXPECT_EQ(sum, static_cast<long>(n) * expect_round);
+      rmi_fence();
+    }
+    rmi_fence();
+  });
+}
+
+} // namespace

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Diff two directories of BENCH_*.json files (bench_common.hpp --json
+output) and emit a GitHub-flavored markdown summary of per-bench deltas.
+
+Usage: bench_diff.py PREV_DIR CUR_DIR
+
+For every bench present in both directories, every table row is matched by
+its first cell (the row key, e.g. the location count) and each numeric
+column's relative change is reported.  Informational only — the caller
+treats the output as a job-summary annotation, never as a gate.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+
+def load_benches(d):
+    out = {}
+    for f in sorted(Path(d).glob("BENCH_*.json")):
+        try:
+            out[f.stem] = json.loads(f.read_text())
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"<!-- skipped {f}: {e} -->")
+    return out
+
+
+def rows_by_key(table):
+    return {str(r[0]): r for r in table.get("rows", []) if r}
+
+
+def fmt_delta(prev, cur):
+    if not isinstance(prev, (int, float)) or not isinstance(cur, (int, float)):
+        return None
+    if prev == 0:
+        return None
+    pct = 100.0 * (cur - prev) / abs(prev)
+    arrow = "+" if pct >= 0 else ""
+    return f"{arrow}{pct:.1f}%"
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 1
+    prev, cur = load_benches(sys.argv[1]), load_benches(sys.argv[2])
+    common = sorted(set(prev) & set(cur))
+    if not common:
+        print("_No previous bench artifacts to diff against._")
+        return 0
+
+    print("### Bench deltas vs previous main run")
+    print()
+    print("Relative change per numeric cell (current vs previous; sign "
+          "follows the metric — lower is better for seconds columns).")
+    print()
+    printed = 0
+    for name in common:
+        ptables = {t["title"]: t for t in prev[name].get("tables", [])}
+        for table in cur[name].get("tables", []):
+            pt = ptables.get(table["title"])
+            if pt is None or pt.get("columns") != table.get("columns"):
+                continue
+            cols = table["columns"]
+            prow = rows_by_key(pt)
+            lines = []
+            for row in table.get("rows", []):
+                if not row or str(row[0]) not in prow:
+                    continue
+                old = prow[str(row[0])]
+                cells = [str(row[0])]
+                for i in range(1, len(cols)):
+                    delta = None
+                    if i < len(row) and i < len(old):
+                        delta = fmt_delta(old[i], row[i])
+                    cells.append(delta if delta is not None else "–")
+                lines.append("| " + " | ".join(cells) + " |")
+            if not lines:
+                continue
+            bench = name.removeprefix("BENCH_")
+            print(f"<details><summary><b>{bench}</b> — {table['title']}"
+                  f"</summary>\n")
+            print("| " + " | ".join(cols) + " |")
+            print("|" + "---|" * len(cols))
+            print("\n".join(lines))
+            print("\n</details>\n")
+            printed += 1
+    if printed == 0:
+        print("_No comparable tables found._")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
