@@ -16,7 +16,11 @@
 //      >= 1.3x for P > 1;
 //   2. balanced guard table — the same total work in equal chunks: with no
 //      imbalance the steal path must cost ~nothing (ratio ~1.0), showing
-//      the scheduler does not tax well-balanced pAlgorithms.
+//      the scheduler does not tax well-balanced pAlgorithms;
+//   3. (--locality) cache-warm vs cold steals — an idle thief facing
+//      several loaded victims, one of whose chunks are annotated
+//      cached-at-thief: the locality-aware victim order must concentrate
+//      the thief's steals on the warm victim, against a hint-less control.
 //
 // Run with --json to also write BENCH_taskgraph.json.
 
@@ -27,6 +31,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -65,10 +70,11 @@ sched_result run_chunks(std::vector<std::size_t> const& sizes,
   sched_result res;
   task_graph<char> tg;
   tg.set_stealing(steal);
-  task_options stealable;
-  stealable.stealable = true;
   for (std::size_t r = 0; r < sizes.size(); ++r) {
     std::size_t const units = sizes[r];
+    task_options stealable;
+    stealable.stealable = true;
+    stealable.weight = units; // the descriptor byte-estimate analogue
     tg.add_task(
         owner[r],
         [units](std::vector<char> const&, char const&) {
@@ -90,11 +96,67 @@ sched_result run_chunks(std::vector<std::size_t> const& sizes,
   return res;
 }
 
+struct locality_result {
+  double seconds = 0.0;
+  std::uint64_t from_warm = 0;  ///< thief executions of the warm victim's tasks
+  std::uint64_t from_cold = 0;  ///< thief executions of other victims' tasks
+};
+
+/// Cache-warm vs cold steals: location 0 idles while every other location
+/// owns `per_victim` latency-bound chunks; with `hints`, the *last*
+/// location's chunks are annotated cached-at-0 — deliberately the victim
+/// the load/id tie-break would probe last, so any warm-share shift is the
+/// hint's doing.  Each task returns the location that executed it, so
+/// owners can report where their work went.
+locality_result run_locality(std::size_t per_victim, std::size_t units,
+                             bool hints)
+{
+  location_id const warm_victim = num_locations() - 1;
+  locality_result res;
+  task_graph<long> tg;
+  using tid = task_graph<long>::task_id;
+  std::vector<tid> mine;
+  for (location_id v = 1; v < num_locations(); ++v) {
+    task_options opts;
+    opts.stealable = true;
+    if (hints && v == warm_victim)
+      opts.cached_at = 0;
+    for (std::size_t k = 0; k < per_victim; ++k) {
+      tid const t = tg.add_task(
+          v,
+          [units](std::vector<long> const&, char const&) {
+            for (std::size_t u = 0; u < units; ++u) {
+              std::this_thread::sleep_for(kUnit);
+              rmi_poll();
+            }
+            return static_cast<long>(this_location());
+          },
+          {}, opts);
+      if (v == this_location())
+        mine.push_back(t);
+    }
+  }
+  res.seconds = bench::timed_kernel([&] { tg.execute(); });
+  std::uint64_t from_warm = 0, from_cold = 0;
+  for (tid const t : mine) {
+    if (tg.result_of(t) != 0)
+      continue; // ran on a victim, not the thief
+    (this_location() == warm_victim ? from_warm : from_cold) += 1;
+  }
+  res.from_warm = allreduce(from_warm, std::plus<>{});
+  res.from_cold = allreduce(from_cold, std::plus<>{});
+  return res;
+}
+
 } // namespace
 
 int main(int argc, char** argv)
 {
   bench::init(argc, argv);
+  bool locality_mode = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string_view(argv[i]) == "--locality")
+      locality_mode = true;
   std::printf("# Task-graph executor — work stealing on imbalanced "
               "(Zipf-sized) chunks\n");
 
@@ -157,6 +219,44 @@ int main(int argc, char** argv)
     bench::cell(tw.load());
     bench::cell(tw.load() > 0 ? ts.load() / tw.load() : 0.0);
     bench::endrow();
+  }
+
+  if (locality_mode) {
+    // Cache-warm vs cold steals: the warm-victim share of the thief's
+    // executions with locality hints on vs off.  With hints the
+    // warmth-ordered victim list concentrates the steals on the warm
+    // (last) victim, which the load/id tie-break alone would probe last.
+    bench::table_header("--locality: cache-warm vs cold steals "
+                        "(thief=loc 0, warm victim=last loc)",
+                        {"locations", "hinted_s", "cold_s", "warm_share_hint",
+                         "warm_share_cold"});
+    for (unsigned p : {3u, 4u, 8u}) {
+      std::atomic<double> th{0}, tc{0}, sh{0}, sc{0};
+      execute(p, [&] {
+        std::size_t const per_victim = 12;
+        std::size_t const units = 4 * bench::scale();
+        auto const hinted = run_locality(per_victim, units, true);
+        auto const cold = run_locality(per_victim, units, false);
+        auto share = [](locality_result const& r) {
+          auto const total = r.from_warm + r.from_cold;
+          return total == 0 ? 0.0
+                            : static_cast<double>(r.from_warm) /
+                                  static_cast<double>(total);
+        };
+        if (this_location() == 0) {
+          th.store(hinted.seconds);
+          tc.store(cold.seconds);
+          sh.store(share(hinted));
+          sc.store(share(cold));
+        }
+      });
+      bench::cell(static_cast<std::size_t>(p));
+      bench::cell(th.load());
+      bench::cell(tc.load());
+      bench::cell(sh.load());
+      bench::cell(sc.load());
+      bench::endrow();
+    }
   }
   return 0;
 }

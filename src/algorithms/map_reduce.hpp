@@ -5,12 +5,13 @@
 // Ch. XII.C.1, Fig. 59: counting word occurrences across a corpus).
 //
 // The map phase runs as chunk tasks on the task-graph executor
-// (runtime/task_graph.hpp): each chunk maps its elements to (key, value)
-// pairs and pre-combines them in a location-local table (the classic
-// combiner optimization) — one table per location, shared by all of that
-// location's chunk tasks, and by any chunk a thief runs on its own
-// replica, so stealing redistributes combine work without changing the
-// result.  After the map graph drains, each location flushes its combined
+// (runtime/task_graph.hpp), coarsened through the view's chunk
+// descriptors (runtime/locality.hpp) like every chunked factory: each
+// chunk maps its elements to (key, value) pairs and pre-combines them in
+// a location-local table (the classic combiner optimization) — one table
+// per location, shared by all of that location's chunk tasks, and by any
+// chunk a thief runs on its own replica, so stealing redistributes
+// combine work without changing the result.  After the map graph drains, each location flushes its combined
 // pairs into the distributed pHashMap with asynchronous
 // accumulate-updates: the shuffle is one asynchronous RMI per distinct
 // (location, key) rather than per emitted pair.

@@ -4,17 +4,23 @@
 // Generic pAlgorithms (dissertation Ch. III, VIII.C), expressed as
 // task-graph factories (runtime/task_graph.hpp).
 //
-// Every algorithm coarsens its view into chunk tasks — many per location,
-// granularity from exec_policy/default_grain — and runs them on the
-// distributed executor.  Element access takes the direct-reference fast
-// path when local (native/aligned views) and the shared-object
-// read/write path otherwise, so chunk tasks are location-transparent:
-// opting a chunk into stealing (exec_policy::stealable) changes where it
-// runs, never what it computes.  Reductions and scans chain partial
-// results through value-carrying dependence edges instead of
-// allgather+fence rounds.  Every algorithm still ends at a fence (inside
-// task_graph::execute) and the views' post_execute hook, implementing the
-// automatic synchronization-point insertion of Ch. VII.H.
+// Every algorithm coarsens its view into chunk *descriptors* (GID run +
+// owning location + cached-at hint + byte estimate; runtime/locality.hpp)
+// — many per location, granularity from exec_policy, or from
+// default_grain filtered through the container's adaptive grain hint —
+// and runs them on the distributed executor, which places each chunk task
+// on its descriptor's owner and schedules steals against the locality
+// annotations.  No algorithm call site handles raw GID vectors: the
+// descriptor carries the locality metadata end-to-end.  Element access
+// takes the direct-reference fast path when local (native/aligned views)
+// and the shared-object read/write path otherwise, so chunk tasks are
+// location-transparent: opting a chunk into stealing
+// (exec_policy::stealable) changes where it runs, never what it computes.
+// Reductions and scans chain partial results through value-carrying
+// dependence edges instead of allgather+fence rounds.  Every algorithm
+// still ends at a fence (inside task_graph::execute) and the views'
+// post_execute hook, implementing the automatic synchronization-point
+// insertion of Ch. VII.H.
 
 #include <algorithm>
 #include <cassert>

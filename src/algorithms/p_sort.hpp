@@ -14,7 +14,9 @@
 //   5. the sorted sequence is written back to the container in order: each
 //      location's start offset arrives as a value-carrying dependence from
 //      its left neighbour (an offset chain on the task-graph executor), so
-//      no bucket-size allgather is needed.
+//      no bucket-size allgather is needed; the write-back itself is
+//      coarsened into chunk tasks sized by the container's adaptive grain
+//      hint (locality pipeline).
 //
 // Sorts any indexed container with 1D gids (pArray, pVector).
 
@@ -102,10 +104,15 @@ void p_sample_sort(C& arr, Compare cmp = {})
 
   // 5. Write back in global order: bucket l starts where buckets 0..l-1
   //    end.  The running offset travels down a task chain as a dependence
-  //    value (each location's chain task adds its bucket size), and every
-  //    location's write-back task fires as soon as its offset arrives —
-  //    no size allgather, no phase barrier.
+  //    value (each location's chain task adds its bucket size), and the
+  //    write-back is coarsened into chunk tasks over the local bucket —
+  //    grain from the container's adaptive hint (the locality pipeline's
+  //    grain feedback), counts allgathered so the replicated descriptor
+  //    stays aligned.  Every chunk fires as soon as its location's offset
+  //    arrives — no size allgather, no phase barrier.
   {
+    std::size_t const grain = std::max<std::size_t>(
+        1, arr.tuned_grain(default_grain(arr.size())));
     task_graph<std::size_t> tg;
     tg.set_stealing(false);  // tasks touch this location's bucket
     using tid = task_graph<std::size_t>::task_id;
@@ -118,17 +125,24 @@ void p_sample_sort(C& arr, Compare cmp = {})
       if (l > 0)
         tg.add_dependence(chain[l - 1], chain[l]);
     }
+    auto const nchunks =
+        allgather((bucket.elems.size() + grain - 1) / grain);
     for (unsigned l = 0; l < p; ++l) {
-      tid const wb = tg.add_task(
-          l, [&bucket, &arr](std::vector<std::size_t> const& ins,
-                             char const&) {
-            std::size_t const offset = ins.empty() ? 0 : ins[0];
-            for (std::size_t i = 0; i < bucket.elems.size(); ++i)
-              arr.set_element(offset + i, std::move(bucket.elems[i]));
-            return std::size_t{0};
-          });
-      if (l > 0)
-        tg.add_dependence(chain[l - 1], wb);
+      for (std::size_t k = 0; k < nchunks[l]; ++k) {
+        tid const wb = tg.add_task(
+            l, [&bucket, &arr, k, grain](std::vector<std::size_t> const& ins,
+                                         char const&) {
+              std::size_t const offset = ins.empty() ? 0 : ins[0];
+              std::size_t const b = k * grain;
+              std::size_t const e =
+                  std::min(bucket.elems.size(), b + grain);
+              for (std::size_t i = b; i < e; ++i)
+                arr.set_element(offset + i, std::move(bucket.elems[i]));
+              return std::size_t{0};
+            });
+        if (l > 0)
+          tg.add_dependence(chain[l - 1], wb);
+      }
     }
     tg.execute();
   }

@@ -34,7 +34,10 @@
 //                        switching between closed-form resolution (static
 //                        distributions) and the directory (dynamic ones)
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -42,6 +45,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "../runtime/locality.hpp"
 #include "../runtime/runtime.hpp"
 #include "directory.hpp"
 #include "load_balancer.hpp"
@@ -216,8 +220,13 @@ class p_container_base : public p_object {
   {
     m_lb_cfg = cfg;
     derived().make_dynamic(); // no-op fence when already dynamic
-    m_directory->enable_access_tracking(cfg.hot_k);
+    m_directory->enable_access_tracking(cfg.hot_k, cfg.access_sample);
     m_lb_enabled = true;
+    m_lb_interval = std::max(1u, cfg.epoch_interval);
+    if (cfg.auto_epoch)
+      m_lb_interval = std::clamp(m_lb_interval, cfg.min_epoch_interval,
+                                 cfg.max_epoch_interval);
+    m_lb_countdown = cfg.epoch_interval == 0 ? 0 : m_lb_interval;
     rmi_fence(); // tracking live everywhere before anyone measures
   }
 
@@ -239,8 +248,15 @@ class p_container_base : public p_object {
   }
 
   /// Collective: marks the end of one computation epoch; runs a rebalance
-  /// wave every lb_config().epoch_interval epochs.  Returns the report when
-  /// a wave ran.  Call from the application's iteration loop.
+  /// wave when the epoch interval elapses.  With cfg.auto_epoch the
+  /// interval self-tunes from the imbalance drift observed between
+  /// consecutive waves' load summaries: a triggered wave or fast drift
+  /// halves it (re-measure soon — placement is in flux), a quiet stable
+  /// wave doubles it (stop paying measurement fences), clamped to
+  /// [min_epoch_interval, max_epoch_interval].  The reports are identical
+  /// on every location, so the tuned interval stays SPMD-consistent.
+  /// Returns the report when a wave ran.  Call from the application's
+  /// iteration loop.
   std::optional<rebalance_report> advance_epoch()
   {
     if (!m_lb_enabled)
@@ -249,10 +265,95 @@ class p_container_base : public p_object {
                            // enable_load_balancing(), not at an arbitrary
                            // phase of the app's iteration count
     m_lb_epoch += 1;
-    if (m_lb_cfg.epoch_interval == 0 ||
-        m_lb_epoch % m_lb_cfg.epoch_interval != 0)
+    if (m_lb_countdown == 0 || --m_lb_countdown != 0)
       return std::nullopt;
-    return rebalance();
+    auto const rep = rebalance();
+    if (m_lb_cfg.auto_epoch) {
+      double const drift =
+          std::abs(rep.imbalance_before - m_lb_last_imbalance);
+      m_lb_last_imbalance = rep.imbalance_before;
+      if (rep.triggered || drift > m_lb_cfg.auto_drift)
+        m_lb_interval =
+            std::max(m_lb_cfg.min_epoch_interval, m_lb_interval / 2);
+      else
+        m_lb_interval =
+            std::min(m_lb_cfg.max_epoch_interval, m_lb_interval * 2);
+    }
+    m_lb_countdown = m_lb_interval;
+    return rep;
+  }
+
+  /// Effective advance_epoch() interval (after auto-tuning).
+  [[nodiscard]] unsigned epoch_interval() const noexcept
+  {
+    return m_lb_interval;
+  }
+
+  // -------------------------------------------------------------------------
+  // Locality pipeline (runtime/locality.hpp): per-container feedback state
+  // shared between the views (which produce chunk descriptors), the
+  // task-graph executor (which reports where chunks ran and how much they
+  // moved) and the load balancer (which folds the executor's counters into
+  // its load model).
+  // -------------------------------------------------------------------------
+
+  /// Chunking grain for this container: the executor's default scaled by
+  /// the adaptive factor fed back from previous graphs' steal/idle
+  /// counters.  Views forward their tuned_grain here.
+  [[nodiscard]] std::size_t tuned_grain(std::size_t base) const
+  {
+    std::lock_guard lock(m_locality_mutex);
+    return m_grain.apply(base);
+  }
+
+  /// Current adaptive grain multiplier (1.0 until feedback arrives).
+  [[nodiscard]] double grain_factor() const
+  {
+    std::lock_guard lock(m_locality_mutex);
+    return m_grain.factor();
+  }
+
+  /// Executor feedback: adapts the grain factor and accumulates the
+  /// epoch's task-graph counters — the load balancer's second signal
+  /// alongside the directory's access counts.
+  void note_task_graph_stats(task_graph_stats const& s)
+  {
+    std::lock_guard lock(m_locality_mutex);
+    m_grain.note(s);
+    m_tg_epoch += s;
+  }
+
+  /// Task-graph counters accumulated since the last reset_task_stats().
+  [[nodiscard]] task_graph_stats epoch_task_stats() const
+  {
+    std::lock_guard lock(m_locality_mutex);
+    return m_tg_epoch;
+  }
+
+  /// Ends the task-stats measurement epoch (rebalance() calls this next to
+  /// directory::reset_epoch, so both signals measure the same window).
+  void reset_task_stats()
+  {
+    std::lock_guard lock(m_locality_mutex);
+    m_tg_epoch = {};
+  }
+
+  /// Placement feedback: a chunk covering GID digests [lo, hi] executed at
+  /// `where` in the previous graph — its data is warm there.
+  void note_chunk_placement(std::uint64_t lo, std::uint64_t hi,
+                            location_id where)
+  {
+    std::lock_guard lock(m_locality_mutex);
+    m_affinity.note(lo, hi, where);
+  }
+
+  /// Cached-at hint for chunks covering [lo, hi] (invalid_location when no
+  /// placement has been observed).  Views stamp descriptors with this.
+  [[nodiscard]] location_id chunk_affinity(std::uint64_t lo,
+                                           std::uint64_t hi) const
+  {
+    std::lock_guard lock(m_locality_mutex);
+    return m_affinity.lookup(lo, hi);
   }
 
   /// Framework-internal: drops the dynamic-resolution bookkeeping of an
@@ -639,6 +740,15 @@ class p_container_base : public p_object {
   load_balancer_config m_lb_cfg;
   bool m_lb_enabled = false;
   std::uint64_t m_lb_epoch = 0;
+  unsigned m_lb_interval = 1;    ///< effective interval (auto-tuned)
+  unsigned m_lb_countdown = 0;   ///< epochs until the next wave (0 = never)
+  double m_lb_last_imbalance = 1.0;
+  /// Locality-pipeline feedback state (guarded: executor feedback may run
+  /// on caller threads under the direct transport).
+  mutable std::mutex m_locality_mutex;
+  grain_tuner m_grain;
+  task_graph_stats m_tg_epoch;
+  chunk_affinity_table m_affinity;
   mutable std::recursive_mutex m_dyn_mutex;
   /// bCID of migrated-in elements that do not belong to a local bContainer
   /// per the closed-form partition (value == migrated_bcid when the element

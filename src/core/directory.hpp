@@ -83,15 +83,18 @@ class space_saving_tracker {
   [[nodiscard]] std::size_t capacity() const noexcept { return m_capacity; }
   [[nodiscard]] std::size_t size() const noexcept { return m_entries.size(); }
 
-  void note(GID const& g)
+  /// Records `weight` observed accesses of `g` (weight > 1 compensates a
+  /// sampled caller: 1-in-N sampling with weight N keeps the count
+  /// estimates unbiased).
+  void note(GID const& g, std::uint64_t weight = 1)
   {
     auto it = m_entries.find(g);
     if (it != m_entries.end()) {
-      it->second.count += 1;
+      it->second.count += weight;
       return;
     }
     if (m_entries.size() < m_capacity) {
-      m_entries.emplace(g, entry{1, 0});
+      m_entries.emplace(g, entry{weight, 0});
       return;
     }
     if (m_capacity == 0)
@@ -103,7 +106,8 @@ class space_saving_tracker {
     for (auto e = m_entries.begin(); e != m_entries.end(); ++e)
       if (e->second.count < victim->second.count)
         victim = e;
-    entry const inherited{victim->second.count + 1, victim->second.count};
+    entry const inherited{victim->second.count + weight,
+                          victim->second.count};
     m_entries.erase(victim);
     m_entries.emplace(g, inherited);
   }
@@ -186,9 +190,15 @@ class directory : public p_object {
     return m_owned;
   }
 
-  [[nodiscard]] directory_stats const& stats() const noexcept
+  /// Point-in-time snapshot (by value: the owner-access counter lives
+  /// outside the mutex on the note_access hot path, so a reference into
+  /// shared state cannot be handed out race-free).
+  [[nodiscard]] directory_stats stats() const
   {
-    return m_stats;
+    std::lock_guard lock(m_mutex);
+    directory_stats s = m_stats;
+    s.owner_accesses = m_owner_accesses.load(std::memory_order_relaxed);
+    return s;
   }
 
   /// Number of owner records homed on this location.
@@ -221,12 +231,17 @@ class directory : public p_object {
   /// Starts counting owner-side element accesses into a per-epoch load
   /// counter and a bounded hot-GID tracker of capacity `top_k`.  Intended to
   /// be called collectively (same capacity everywhere) at a quiesce point.
-  void enable_access_tracking(std::size_t top_k)
+  /// `sample_every` sets the sketch sampling rate of note_access: 1 notes
+  /// every access (exact counts, but each one takes the mutex); N > 1
+  /// notes ~1-in-N (weight-compensated), so the hot path stays a single
+  /// relaxed atomic increment.
+  void enable_access_tracking(std::size_t top_k, unsigned sample_every = 1)
   {
     std::lock_guard lock(m_mutex);
     m_hot.set_capacity(top_k);
     m_hot.clear();
-    m_epoch_accesses = 0;
+    m_epoch_accesses.store(0, std::memory_order_relaxed);
+    m_sample_every = sample_every == 0 ? 1 : sample_every;
     m_track_accesses.store(true, std::memory_order_release);
   }
 
@@ -244,21 +259,37 @@ class directory : public p_object {
   /// Records one element access executed on this location as the owner.
   /// Called by the container's dynamic dispatch; no-op unless tracking is
   /// enabled, so undisturbed workloads pay a single atomic load.
+  ///
+  /// The measurement no longer serializes the owner hot path it measures:
+  /// the load counters are relaxed atomics, and the mutex-guarded sketch
+  /// update runs for ~1-in-sample_every accesses only (weight-compensated
+  /// so count estimates stay unbiased).  The sampling decision mixes the
+  /// counter value — a fixed stride (n % N) would alias with periodic
+  /// access patterns like a round-robin sweep of a hot block.
   void note_access(GID const& g)
   {
     if (!m_track_accesses.load(std::memory_order_relaxed))
       return;
+    auto const n =
+        m_epoch_accesses.fetch_add(1, std::memory_order_relaxed) + 1;
+    m_owner_accesses.fetch_add(1, std::memory_order_relaxed);
+    unsigned const every = m_sample_every;
+    if (every > 1 && !sampled(n, every))
+      return;
     std::lock_guard lock(m_mutex);
-    m_epoch_accesses += 1;
-    m_stats.owner_accesses += 1;
-    m_hot.note(g);
+    m_hot.note(g, every);
   }
 
   /// Owner-side accesses recorded since the last reset_epoch().
   [[nodiscard]] std::uint64_t epoch_accesses() const
   {
-    std::lock_guard lock(m_mutex);
-    return m_epoch_accesses;
+    return m_epoch_accesses.load(std::memory_order_acquire);
+  }
+
+  /// Sketch sampling rate in effect (see enable_access_tracking).
+  [[nodiscard]] unsigned access_sample_every() const noexcept
+  {
+    return m_sample_every;
   }
 
   /// Tracked hot GIDs with space-saving count estimates, hottest first.
@@ -273,7 +304,7 @@ class directory : public p_object {
   void reset_epoch()
   {
     std::lock_guard lock(m_mutex);
-    m_epoch_accesses = 0;
+    m_epoch_accesses.store(0, std::memory_order_relaxed);
     m_hot.clear();
   }
 
@@ -964,9 +995,24 @@ class directory : public p_object {
   std::unordered_map<GID, location_id, Hash> m_cache;
   directory_stats m_stats;
   /// Load-balancing support: owner-side access counting (note_access).
+  /// The counters are relaxed atomics so the owner hot path never takes
+  /// m_mutex for them; the sketch (m_hot) stays mutex-guarded but is only
+  /// touched for sampled accesses.
   std::atomic<bool> m_track_accesses{false};
-  std::uint64_t m_epoch_accesses = 0;
+  std::atomic<std::uint64_t> m_epoch_accesses{0};
+  std::atomic<std::uint64_t> m_owner_accesses{0};
+  unsigned m_sample_every = 1;
   space_saving_tracker<GID, Hash> m_hot;
+
+  /// Mixed (splitmix64-style) 1-in-`every` sampling decision for access n.
+  [[nodiscard]] static bool sampled(std::uint64_t n, unsigned every) noexcept
+  {
+    std::uint64_t z = n + 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    return z % every == 0;
+  }
 };
 
 } // namespace stapl

@@ -33,6 +33,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -41,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "../runtime/locality.hpp"
 #include "../runtime/runtime.hpp"
 #include "directory.hpp"
 #include "migration.hpp"
@@ -63,6 +65,29 @@ struct load_balancer_config {
   /// advance_epoch(): run rebalance() every this many epochs
   /// (0 = never rebalance automatically; rebalance() remains available).
   unsigned epoch_interval = 1;
+  /// advance_epoch() auto-tuning: when true, the effective interval adapts
+  /// to the imbalance drift observed between consecutive waves' load
+  /// summaries — a triggered wave or drift above `auto_drift` halves it
+  /// (placement is in flux, re-measure soon), a quiet stable wave doubles
+  /// it (stop paying measurement fences), clamped to
+  /// [min_epoch_interval, max_epoch_interval].
+  bool auto_epoch = false;
+  unsigned min_epoch_interval = 1;
+  unsigned max_epoch_interval = 32;
+  double auto_drift = 0.25;
+  /// Sketch sampling of directory::note_access: 1 records every owner
+  /// access in the hot-GID sketch (exact, but each hit takes the
+  /// directory mutex); N > 1 updates the sketch for ~1-in-N accesses
+  /// (weight-compensated), leaving the hot path a single relaxed atomic
+  /// increment — measurement stops serializing the path it measures.
+  unsigned access_sample = 1;
+  /// Weight of the task-graph placement signal in the load model: each
+  /// location's epoch load becomes its directory access count plus
+  /// task_stats_weight * (tasks_lost - tasks_stolen) scaled to access
+  /// units — a location whose chunks were carried off by thieves is
+  /// hotter than its access count shows, and one that pulled work in has
+  /// spare capacity.  0 disables the second signal.
+  double task_stats_weight = 1.0;
 };
 
 /// Outcome of one rebalance() wave (identical on every location).
@@ -258,9 +283,38 @@ rebalance_report rebalance(C& c, load_balancer_config const& cfg)
   rmi_fence();
 
   rebalance_report rep;
-  auto const loads = allgather(dir.epoch_accesses());
+  auto loads = allgather(dir.epoch_accesses());
   for (auto l : loads)
     rep.total_load += l;
+
+  // Second signal: the task-graph executor's verdict on chunk placement.
+  // tasks_lost says thieves had to carry this location's chunks away (it
+  // is hotter than its access count shows); tasks_stolen says it had the
+  // slack to pull work in.  Tasks convert into access units at the
+  // epoch's global mean accesses-per-task, so both signals share a scale
+  // and the adjusted loads stay identical on every location.
+  if constexpr (requires { c.epoch_task_stats(); }) {
+    if (cfg.task_stats_weight > 0.0) {
+      auto const tstats = allgather(c.epoch_task_stats());
+      std::uint64_t total_tasks = 0;
+      for (auto const& s : tstats)
+        total_tasks += s.tasks_run;
+      if (total_tasks != 0 && rep.total_load != 0) {
+        double const unit = static_cast<double>(rep.total_load) /
+                            static_cast<double>(total_tasks);
+        for (location_id l = 0; l < loads.size(); ++l) {
+          double const shift =
+              cfg.task_stats_weight * unit *
+              (static_cast<double>(tstats[l].tasks_lost) -
+               static_cast<double>(tstats[l].tasks_stolen));
+          double const adjusted =
+              std::max(0.0, static_cast<double>(loads[l]) + shift);
+          loads[l] = static_cast<std::uint64_t>(std::llround(adjusted));
+        }
+      }
+    }
+  }
+
   rep.imbalance_before = lb_detail::imbalance_of(loads);
   rep.imbalance_after = rep.imbalance_before;
 
@@ -303,6 +357,8 @@ rebalance_report rebalance(C& c, load_balancer_config const& cfg)
   rmi_fence(); // the wave (and every request it re-routed) completes
 
   dir.reset_epoch(); // next epoch measures fresh, post-move traffic
+  if constexpr (requires { c.reset_task_stats(); })
+    c.reset_task_stats(); // both signals measure the same window
   rmi_fence();
   return rep;
 }

@@ -1,0 +1,238 @@
+#ifndef STAPL_RUNTIME_LOCALITY_HPP
+#define STAPL_RUNTIME_LOCALITY_HPP
+
+// The locality pipeline's shared vocabulary (dissertation Ch. III/VII
+// locality discussion; cf. BCL's locality-annotated remote references).
+//
+// Containers, views, the task-graph executor and the load balancer used to
+// speak different dialects about *where data lives*: views handed the
+// executor bare GID vectors, the executor stole blindly, and the balancer
+// planned element moves with no knowledge of where chunk tasks actually
+// ran.  This header defines the one abstraction they all consume:
+//
+//   * chunk_descriptor — a coarsened bView piece annotated with its owning
+//     location, a cached-at hint (a peer believed to hold the chunk's data
+//     warm, fed back from previous executions) and a byte estimate.  Every
+//     view's chunks(grain) produces these; the executor places, steals and
+//     reports against them.
+//   * task_graph_stats — the executor's per-location counters.  Beyond
+//     monitoring they are *signals*: the grain tuner adapts chunk sizes
+//     from them, and the load balancer folds tasks_stolen/lost into its
+//     per-location load model so chunk placement and element placement
+//     converge instead of fighting.
+//   * steal_victim_order — the deterministic victim preference of the
+//     executor: cache-warm victims (stealable chunks annotated with this
+//     location) first, then descending owned-task count.
+//   * grain_tuner / chunk_affinity_table — the per-container feedback
+//     state: steal/idle counters of the previous graph tune default_grain,
+//     and lost-chunk placement events stamp the next graph's cached_at
+//     hints.
+//
+// Layering: this header depends only on runtime/types.hpp, so the views,
+// core and runtime layers can all include it without cycles.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "types.hpp"
+
+namespace stapl {
+
+/// Per-location executor counters (surfaced like location_stats).  Consumed
+/// as feedback by the grain tuner and the load balancer (see header note).
+struct task_graph_stats {
+  std::uint64_t tasks_run = 0;     ///< tasks executed on this location
+  std::uint64_t tasks_stolen = 0;  ///< of which stolen from another owner
+  std::uint64_t tasks_lost = 0;    ///< owned tasks executed elsewhere
+  std::uint64_t steal_grants = 0;  ///< probes that returned work (>= 1 task)
+  std::uint64_t steal_fail = 0;    ///< steal attempts that came back empty
+  std::uint64_t values_sent = 0;   ///< dependence values shipped off-location
+
+  task_graph_stats& operator+=(task_graph_stats const& o) noexcept
+  {
+    tasks_run += o.tasks_run;
+    tasks_stolen += o.tasks_stolen;
+    tasks_lost += o.tasks_lost;
+    steal_grants += o.steal_grants;
+    steal_fail += o.steal_fail;
+    values_sent += o.values_sent;
+    return *this;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// chunk_descriptor — the coarsening currency of the pipeline
+// ---------------------------------------------------------------------------
+
+namespace locality_detail {
+
+/// Order-preserving 64-bit digest of a GID for range comparisons: integral
+/// GIDs map to their value (so [lo, hi] digests really bound the run);
+/// other GID types hash, which degrades range tests to exact-match — still
+/// sound, just less sharp.
+template <typename G>
+[[nodiscard]] std::uint64_t gid_digest(G const& g)
+{
+  if constexpr (std::is_integral_v<G>)
+    return static_cast<std::uint64_t>(g);
+  else
+    return static_cast<std::uint64_t>(std::hash<G>{}(g));
+}
+
+} // namespace locality_detail
+
+/// One coarsened piece of a view's bView: a GID run plus the locality
+/// metadata the executor schedules against.  Produced by every view's
+/// chunks(grain); consumed end-to-end (placement, victim selection, grain
+/// feedback, balancer signals) instead of re-deriving locality per task.
+template <typename G>
+struct chunk_descriptor {
+  std::vector<G> gids;                      ///< the chunk's GID run (ordered)
+  location_id owner = 0;                    ///< location owning the data
+  location_id cached_at = invalid_location; ///< peer holding it warm (hint)
+  std::uint64_t bytes = 0;                  ///< estimated payload bytes
+
+  [[nodiscard]] bool empty() const noexcept { return gids.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return gids.size(); }
+
+  /// Digest range of the run (valid only when non-empty).
+  [[nodiscard]] std::uint64_t digest_lo() const
+  {
+    return locality_detail::gid_digest(gids.front());
+  }
+  [[nodiscard]] std::uint64_t digest_hi() const
+  {
+    return locality_detail::gid_digest(gids.back());
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Victim preference (executor side)
+// ---------------------------------------------------------------------------
+
+/// Steal-probe order for location `me`: peers are ranked by the number of
+/// their stealable chunks annotated cached-at-`me` (warmth — stealing those
+/// re-uses data this location already touched), then by descending
+/// owned-task count, ties toward the lower id.  Pure and deterministic: the
+/// executor computes it from the replicated graph descriptor, and tests
+/// drive it directly.
+[[nodiscard]] inline std::vector<location_id>
+steal_victim_order(location_id me, std::vector<std::size_t> const& owned,
+                   std::vector<std::size_t> const& warmth)
+{
+  std::vector<location_id> order;
+  order.reserve(owned.size());
+  for (location_id l = 0; l < owned.size(); ++l)
+    if (l != me)
+      order.push_back(l);
+  std::sort(order.begin(), order.end(), [&](location_id a, location_id b) {
+    if (warmth[a] != warmth[b])
+      return warmth[a] > warmth[b];
+    if (owned[a] != owned[b])
+      return owned[a] > owned[b];
+    return a < b;
+  });
+  return order;
+}
+
+// ---------------------------------------------------------------------------
+// Per-container feedback state (fed by the executor, read by the views)
+// ---------------------------------------------------------------------------
+
+/// Adapts a container's chunking grain from the previous graph's steal/idle
+/// counters: heavy stealing means the chunks were too coarse to balance
+/// (shrink); a clean steal-free graph relaxes back toward (and slightly
+/// past) the default.  The factor multiplies default_grain and is clamped
+/// so feedback can never starve the executor of tasks or collapse chunks
+/// to single elements.
+class grain_tuner {
+ public:
+  static constexpr double min_factor = 0.125;
+  static constexpr double max_factor = 2.0;
+
+  void note(task_graph_stats const& s) noexcept
+  {
+    if (s.tasks_run == 0 && s.tasks_lost == 0)
+      return; // idle replica: no evidence either way
+    std::uint64_t const involved = s.tasks_run + s.tasks_lost;
+    if ((s.tasks_stolen + s.tasks_lost) * 4 >= involved) {
+      // >= 25% of this location's task traffic moved between locations:
+      // finer chunks spread the imbalance with less per-grant latency.
+      m_factor = std::max(min_factor, m_factor * 0.5);
+    } else if (s.tasks_stolen == 0 && s.tasks_lost == 0 &&
+               s.steal_fail == 0) {
+      // Quiet graph: nothing moved, nobody probed in vain — coarsen back
+      // toward the default (and a little beyond, amortizing task setup).
+      m_factor = std::min(max_factor, m_factor * 1.25);
+    }
+  }
+
+  [[nodiscard]] std::size_t apply(std::size_t base) const noexcept
+  {
+    auto const g = static_cast<std::size_t>(static_cast<double>(base) *
+                                            m_factor);
+    return g == 0 ? 1 : g;
+  }
+
+  [[nodiscard]] double factor() const noexcept { return m_factor; }
+  void reset() noexcept { m_factor = 1.0; }
+
+ private:
+  double m_factor = 1.0;
+};
+
+/// Bounded memory of where chunks of this container actually ran: the
+/// executor reports lost chunks (digest range -> executing location) after
+/// each graph, and the views stamp the next graph's descriptors with the
+/// overlapping entry as the cached-at hint — so work keeps flowing to the
+/// location whose caches are already warm with that range.  FIFO-bounded;
+/// a new overlapping observation replaces the old one.
+class chunk_affinity_table {
+ public:
+  explicit chunk_affinity_table(std::size_t capacity = 32)
+      : m_capacity(capacity)
+  {}
+
+  void note(std::uint64_t lo, std::uint64_t hi, location_id where)
+  {
+    for (auto& e : m_entries) {
+      if (e.lo <= hi && lo <= e.hi) {
+        e = {lo, hi, where};
+        return;
+      }
+    }
+    if (m_entries.size() == m_capacity)
+      m_entries.pop_front();
+    m_entries.push_back({lo, hi, where});
+  }
+
+  /// Location last observed executing a chunk overlapping [lo, hi], or
+  /// invalid_location.
+  [[nodiscard]] location_id lookup(std::uint64_t lo, std::uint64_t hi) const
+  {
+    for (auto const& e : m_entries)
+      if (e.lo <= hi && lo <= e.hi)
+        return e.where;
+    return invalid_location;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return m_entries.size(); }
+  void clear() noexcept { m_entries.clear(); }
+
+ private:
+  struct entry {
+    std::uint64_t lo = 0, hi = 0;
+    location_id where = invalid_location;
+  };
+  std::size_t m_capacity;
+  std::deque<entry> m_entries;
+};
+
+} // namespace stapl
+
+#endif

@@ -140,12 +140,16 @@ class spmd_barrier {
 
 /// FIFO inbox of one location.  A single queue per destination preserves
 /// per-source program order (each source enqueues in program order).
+/// An atomic element count lets the owner's poll loop skip the mutex when
+/// the inbox is empty — polling is the fabric of every wait loop, so the
+/// empty probe must not serialize against concurrent senders.
 class inbox {
  public:
   void push(request r)
   {
     std::lock_guard lock(m_mutex);
     m_queue.push_back(std::move(r));
+    m_count.fetch_add(1, std::memory_order_release);
   }
 
   void push_batch(std::vector<request>&& batch)
@@ -153,27 +157,32 @@ class inbox {
     std::lock_guard lock(m_mutex);
     for (auto& r : batch)
       m_queue.push_back(std::move(r));
+    m_count.fetch_add(batch.size(), std::memory_order_release);
   }
 
   [[nodiscard]] bool pop(request& out)
   {
+    if (m_count.load(std::memory_order_acquire) == 0)
+      return false; // empty fast path: no lock; a racing push is caught
+                    // by the caller's next poll round
     std::lock_guard lock(m_mutex);
     if (m_queue.empty())
       return false;
     out = std::move(m_queue.front());
     m_queue.pop_front();
+    m_count.fetch_sub(1, std::memory_order_release);
     return true;
   }
 
   [[nodiscard]] bool empty() const
   {
-    std::lock_guard lock(m_mutex);
-    return m_queue.empty();
+    return m_count.load(std::memory_order_acquire) == 0;
   }
 
  private:
   mutable std::mutex m_mutex;
   std::deque<request> m_queue;
+  std::atomic<std::size_t> m_count{0};
 };
 
 /// Registry of p_object representatives on one location.

@@ -28,12 +28,19 @@
 // -------------
 // A task marked `stealable` (locality-free work, or a read-only chunk whose
 // element accesses route through the shared-object view) may execute on any
-// location.  An idle location asks a victim (descending owned-task order,
-// round robin) for work; the victim pops a stealable *ready* task from the
-// back of its queue and ships (task id, input values, payload).  The thief
-// runs its own replica of the closure, delivers successor values itself,
-// and sends the result back to the owner, which keeps the authoritative
-// completion record.  Non-stealable tasks never leave their owner.
+// location.  An idle location asks a victim for work; victims are ranked by
+// the locality metadata of the replicated descriptor (steal_victim_order in
+// runtime/locality.hpp): peers owning stealable chunks annotated cached-at
+// this location come first, then descending owned-task count.  A probe
+// sticks to its victim while grants keep coming and advances on a nack.
+// The victim grants the back *half* of its stealable ready tail in one
+// message (steal-half): each granted task ships (task id, input values,
+// payload) together, so a drained location rebalances in O(log) probes
+// instead of one round trip per task.  The thief runs its own replica of
+// the closure, delivers successor values itself, and sends the result back
+// to the owner, which keeps the authoritative completion record (including
+// *where* the task ran — the placement feedback consumed by
+// lost_events()).  Non-stealable tasks never leave their owner.
 //
 // Termination
 // -----------
@@ -59,35 +66,33 @@
 #include <utility>
 #include <vector>
 
+#include "locality.hpp"
 #include "runtime.hpp"
 
 namespace stapl {
 
-/// Per-location executor counters (surfaced like location_stats).
-struct task_graph_stats {
-  std::uint64_t tasks_run = 0;     ///< tasks executed on this location
-  std::uint64_t tasks_stolen = 0;  ///< of which stolen from another owner
-  std::uint64_t tasks_lost = 0;    ///< owned tasks executed elsewhere
-  std::uint64_t steal_fail = 0;    ///< steal attempts that came back empty
-  std::uint64_t values_sent = 0;   ///< dependence values shipped off-location
-
-  task_graph_stats& operator+=(task_graph_stats const& o) noexcept
-  {
-    tasks_run += o.tasks_run;
-    tasks_stolen += o.tasks_stolen;
-    tasks_lost += o.tasks_lost;
-    steal_fail += o.steal_fail;
-    values_sent += o.values_sent;
-    return *this;
-  }
-};
-
-/// Per-task scheduling options.
+/// Per-task scheduling options.  The locality fields are part of the
+/// *replicated* descriptor (every location passes the same values), so the
+/// executor can rank steal victims and report placement without touching
+/// the owner-only payload.
 struct task_options {
   /// True when the task may execute on any location: its work either
   /// touches no storage (locality-free) or reaches elements through the
   /// shared-object view, which routes correctly from anywhere.
   bool stealable = false;
+  /// Peer believed to hold the task's chunk warm (chunk_descriptor hint);
+  /// that location ranks the owner first among its steal victims.
+  location_id cached_at = invalid_location;
+  /// GID-digest range of the task's chunk (valid when has_digest): the
+  /// coordinates of placement feedback (lost_events()).
+  std::uint64_t digest_lo = 0;
+  std::uint64_t digest_hi = 0;
+  bool has_digest = false;
+  /// Relative work estimate (the chunk descriptor's byte estimate, or any
+  /// caller-chosen unit; 0 = unknown, counted as 1).  Steal-half grants
+  /// split the ready tail by this weight, not by task count, so one huge
+  /// chunk is not traded as if it equalled a tiny one.
+  std::uint64_t weight = 0;
 };
 
 /// A distributed graph of coarsened tasks with value-carrying dependence
@@ -164,6 +169,33 @@ class task_graph : public p_object {
     return m_stats;
   }
 
+  /// One placement observation: an owned chunk task (with a GID digest)
+  /// that completed on another location — its data is warm there now.
+  struct placement_event {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    location_id ran_at = invalid_location;
+  };
+
+  /// Where this location's chunk tasks actually ran (valid after
+  /// execute()): one event per owned, digest-carrying task that a thief
+  /// executed.  Factories feed these back into the container's chunk
+  /// affinity table, which stamps the next graph's cached_at hints.
+  [[nodiscard]] std::vector<placement_event> lost_events() const
+  {
+    std::lock_guard lock(m_mutex);
+    std::vector<placement_event> out;
+    for (task const& tk : m_tasks) {
+      if (tk.owner != this->get_location_id() || !tk.done)
+        continue;
+      if (!tk.opts.has_digest || tk.ran_at == invalid_location ||
+          tk.ran_at == tk.owner)
+        continue;
+      out.push_back({tk.opts.digest_lo, tk.opts.digest_hi, tk.ran_at});
+    }
+    return out;
+  }
+
   /// Field-wise sum of every location's counters.  Collective.
   [[nodiscard]] task_graph_stats global_stats() const
   {
@@ -233,6 +265,27 @@ class task_graph : public p_object {
       }
       ++idle_rounds;
       maybe_steal(idle_rounds);
+      if (m_steal_inflight.load(std::memory_order_acquire)) {
+        // A probe is on the wire: the answer needs the *victim* to get
+        // CPU time (it services probes between chunks).  Napping outright
+        // beats the backoff's yield phase, which on an oversubscribed
+        // host burns the very cycles the victim's wakeup is waiting for.
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        continue;
+      }
+      bool drained = false;
+      {
+        std::lock_guard lock(m_mutex);
+        drained = !m_victims.empty() && m_fail_streak >= m_victims.size();
+      }
+      if (drained) {
+        // Every victim just nacked: the system is drained (or one long
+        // dependence chain is finishing elsewhere).  Sleep a poll
+        // interval instead of lock-churning — stragglers land in the
+        // inbox and are picked up at the next wake.
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        continue;
+      }
       bo.pause();
     }
     rmi_fence();
@@ -256,8 +309,8 @@ class task_graph : public p_object {
     deliver_locked(t, slot, std::move(v));
   }
 
-  /// At the owner: a thief finished our task; record the result.
-  void handle_complete(task_id t, E v)
+  /// At the owner: `ran_at` finished our task; record result and placement.
+  void handle_complete(task_id t, E v, location_id ran_at)
   {
     bool quiesced = false;
     {
@@ -266,6 +319,7 @@ class task_graph : public p_object {
       assert(!tk.done);
       tk.done = true;
       tk.value = std::move(v);
+      tk.ran_at = ran_at;
       m_stats.tasks_lost += 1;
       quiesced = (--m_local_remaining == 0);
     }
@@ -273,57 +327,103 @@ class task_graph : public p_object {
       send_quiesced();
   }
 
-  /// At a victim: `thief` wants work; pop a stealable ready task.
+  /// One granted task on the wire: execution rights, buffered inputs and
+  /// the owner's payload travel together (the closure is replicated).
+  struct stolen_task {
+    task_id id = 0;
+    std::vector<E> inputs;
+    P payload{};
+  };
+
+  /// At a victim: `thief` wants work.  Steal-half: grant the back half of
+  /// the stealable ready tail in one message, not one task per probe — a
+  /// loaded victim sheds its backlog in O(log backlog) round trips.  The
+  /// half is measured in task *weight* (the chunk descriptors' byte
+  /// estimates) when the graph carries it, so a huge chunk is not traded
+  /// as if it equalled a tiny one; weightless graphs split by count.
   void handle_steal_request(location_id thief)
   {
-    std::optional<ready_item> grant;
+    std::vector<stolen_task> grants;
     {
       std::lock_guard lock(m_mutex);
-      for (auto it = m_ready.rbegin(); it != m_ready.rend(); ++it) {
-        if (it->stolen || !m_tasks[it->id].opts.stealable)
-          continue;
-        ready_item item = std::move(*it);
-        m_ready.erase(std::next(it).base());
-        // Owned ready items keep their inputs in the task record; the
-        // grant ships them (and the payload) to the thief.
-        task& tk = m_tasks[item.id];
-        item.inputs = std::move(tk.inputs);
-        item.payload = std::move(tk.payload);
-        grant.emplace(std::move(item));
-        break;
+      std::vector<std::size_t> stealable;
+      std::uint64_t avail_w = 0;
+      for (std::size_t i = 0; i < m_ready.size(); ++i)
+        if (!m_ready[i].stolen && m_tasks[m_ready[i].id].opts.stealable) {
+          stealable.push_back(i);
+          std::uint64_t const w = m_tasks[m_ready[i].id].opts.weight;
+          avail_w += w == 0 ? 1 : w;
+        }
+      // Longest tail suffix whose weight stays within half of the
+      // stealable total (always at least one task).  Uniform weights
+      // reduce this to granting half the tail by count.
+      std::size_t take = 0;
+      std::uint64_t granted_w = 0;
+      for (std::size_t k = stealable.size(); k != 0; --k) {
+        std::uint64_t w =
+            m_tasks[m_ready[stealable[k - 1]].id].opts.weight;
+        w = w == 0 ? 1 : w;
+        if (take != 0 && (granted_w + w) * 2 > avail_w)
+          break;
+        granted_w += w;
+        take += 1;
+      }
+      if (take != 0) {
+        // Grant the *tail* (the half farthest from being run here), in
+        // queue order; compact the survivors front-to-back.
+        std::size_t const first = stealable.size() - take;
+        grants.reserve(take);
+        for (std::size_t k = first; k < stealable.size(); ++k) {
+          ready_item& item = m_ready[stealable[k]];
+          task& tk = m_tasks[item.id];
+          // Owned ready items keep their inputs in the task record; the
+          // grant ships them (and the payload) to the thief.
+          grants.push_back(stolen_task{item.id, std::move(tk.inputs),
+                                       std::move(tk.payload)});
+          item.granted = true;
+        }
+        std::deque<ready_item> keep;
+        for (auto& item : m_ready)
+          if (!item.granted)
+            keep.push_back(std::move(item));
+        m_ready = std::move(keep);
       }
     }
-    if (grant) {
+    if (!grants.empty()) {
       async_rmi<task_graph>(thief, this->get_handle(),
-                            &task_graph::handle_steal_grant, grant->id,
-                            std::move(grant->inputs),
-                            std::move(grant->payload));
+                            &task_graph::handle_steal_grant,
+                            std::move(grants));
     } else {
       async_rmi<task_graph>(thief, this->get_handle(),
                             &task_graph::handle_steal_nack);
     }
   }
 
-  /// At the thief: a granted task (with its inputs and payload).
-  void handle_steal_grant(task_id t, std::vector<E> inputs, P payload)
+  /// At the thief: granted tasks (each with its inputs and payload).
+  void handle_steal_grant(std::vector<stolen_task> grants)
   {
     {
       std::lock_guard lock(m_mutex);
-      m_ready.push_back(
-          ready_item{t, true, std::move(inputs), std::move(payload)});
-      m_stats.tasks_stolen += 1;
+      m_stats.tasks_stolen += grants.size();
+      m_stats.steal_grants += 1;
+      for (auto& g : grants)
+        m_ready.push_back(
+            ready_item{g.id, true, false, std::move(g.inputs),
+                       std::move(g.payload)});
       m_fail_streak = 0;
     }
     m_steal_inflight.store(false, std::memory_order_release);
   }
 
-  /// At the thief: the victim had nothing stealable.
+  /// At the thief: the victim had nothing stealable — move to the next
+  /// victim in warmth order (a granting victim keeps being probed).
   void handle_steal_nack()
   {
     {
       std::lock_guard lock(m_mutex);
       m_stats.steal_fail += 1;
       m_fail_streak += 1;
+      m_victim_idx += 1;
     }
     m_steal_inflight.store(false, std::memory_order_release);
   }
@@ -357,6 +457,7 @@ class task_graph : public p_object {
     std::uint32_t arrived = 0;   ///< input values delivered (owner side)
     std::vector<E> inputs;       ///< slot-indexed input values (owner side)
     E value{};                   ///< result (owner side, after completion)
+    location_id ran_at = invalid_location;  ///< where it executed (owner side)
     bool queued = false;         ///< entered the ready queue
     bool done = false;           ///< completed (authoritative at owner)
   };
@@ -364,6 +465,7 @@ class task_graph : public p_object {
   struct ready_item {
     task_id id = 0;
     bool stolen = false;
+    bool granted = false;   ///< scratch flag of the steal-half compaction
     std::vector<E> inputs;  ///< set for stolen items; owned items read the
                             ///< task record
     P payload{};            ///< set for stolen items
@@ -383,7 +485,7 @@ class task_graph : public p_object {
     if (m_started && tk.owner == this->get_location_id() &&
         tk.arrived == tk.n_inputs && !tk.queued) {
       tk.queued = true;
-      m_ready.push_back(ready_item{t, false, {}, P{}});
+      m_ready.push_back(ready_item{t, false, false, {}, P{}});
     }
   }
 
@@ -405,7 +507,7 @@ class task_graph : public p_object {
         m_local_remaining += 1;
         if (tk.arrived == tk.n_inputs && !tk.queued) {
           tk.queued = true;
-          m_ready.push_back(ready_item{t, false, {}, P{}});
+          m_ready.push_back(ready_item{t, false, false, {}, P{}});
         }
       }
       // Stealing needs the full protocol; a steal-free graph (the common
@@ -416,19 +518,20 @@ class task_graph : public p_object {
       m_steal_mode = m_steal_enabled && m_has_stealable &&
                      this->get_num_locations() > 1;
       quiesced = m_steal_mode && m_local_remaining == 0;
-      // Victim preference: most owned tasks first (replicated descriptor,
-      // so every location computes the same loads), ties toward lower id.
+      // Victim preference (locality-aware, from the replicated
+      // descriptor): peers whose stealable chunks are annotated cached-at
+      // this location first — stealing those re-touches data already warm
+      // here — then descending owned-task count, ties toward lower id.
       if (m_steal_mode) {
+        location_id const me = this->get_location_id();
         std::vector<std::size_t> owned(this->get_num_locations(), 0);
-        for (auto const& tk : m_tasks)
+        std::vector<std::size_t> warmth(this->get_num_locations(), 0);
+        for (auto const& tk : m_tasks) {
           owned[tk.owner] += 1;
-        for (location_id l = 0; l < this->get_num_locations(); ++l)
-          if (l != this->get_location_id())
-            m_victims.push_back(l);
-        std::sort(m_victims.begin(), m_victims.end(),
-                  [&](location_id a, location_id b) {
-                    return owned[a] != owned[b] ? owned[a] > owned[b] : a < b;
-                  });
+          if (tk.opts.stealable && tk.opts.cached_at == me)
+            warmth[tk.owner] += 1;
+        }
+        m_victims = steal_victim_order(me, owned, warmth);
       }
     }
     if (quiesced)
@@ -471,7 +574,7 @@ class task_graph : public p_object {
     if (item.stolen) {
       async_rmi<task_graph>(tk.owner, this->get_handle(),
                             &task_graph::handle_complete, item.id,
-                            std::move(result));
+                            std::move(result), this->get_location_id());
     } else {
       bool quiesced = false;
       {
@@ -479,6 +582,7 @@ class task_graph : public p_object {
         task& mine = m_tasks[item.id];
         mine.done = true;
         mine.value = std::move(result);
+        mine.ran_at = this->get_location_id();
         quiesced = (--m_local_remaining == 0) && m_steal_mode;
       }
       if (quiesced)
@@ -507,7 +611,10 @@ class task_graph : public p_object {
     location_id victim;
     {
       std::lock_guard lock(m_mutex);
-      victim = m_victims[m_victim_rr++ % m_victims.size()];
+      // Sticky pointer into the warmth-ordered victim list: a granting
+      // victim keeps being probed (its backlog halves per grant); nacks
+      // advance the pointer (handle_steal_nack).
+      victim = m_victims[m_victim_idx % m_victims.size()];
     }
     async_rmi<task_graph>(victim, this->get_handle(),
                           &task_graph::handle_steal_request,
@@ -528,8 +635,8 @@ class task_graph : public p_object {
   /// Values that arrived before this replica's construction finished.
   std::vector<std::tuple<task_id, std::uint32_t, E>> m_early;
   std::deque<ready_item> m_ready;
-  std::vector<location_id> m_victims;  ///< steal order (desc. owned tasks)
-  std::size_t m_victim_rr = 0;
+  std::vector<location_id> m_victims;  ///< steal order (warmth, then load)
+  std::size_t m_victim_idx = 0;        ///< advances on nack (sticky on grant)
   std::size_t m_local_remaining = 0;
   std::size_t m_fail_streak = 0;
   bool m_started = false;
@@ -603,7 +710,9 @@ concept has_member_chunks = requires(V v, std::size_t g) {
   { v.chunks(g) };
 };
 
-/// Splits an ordered GID sequence into contiguous runs of ~grain elements.
+/// Splits an ordered GID sequence into contiguous runs of ~grain elements
+/// (building block of the descriptor producers; algorithms never consume
+/// raw runs directly — they go through chunk descriptors).
 template <typename G>
 [[nodiscard]] std::vector<std::vector<G>> chunk_gids(std::vector<G> gids,
                                                      std::size_t grain)
@@ -621,15 +730,89 @@ template <typename G>
   return out;
 }
 
-/// This location's bView, coarsened: the view's own chunks(grain) when it
-/// has one, else fixed-size runs of local_gids().
+/// Wraps contiguous GID runs into chunk descriptors owned by this location
+/// (the fallback producer for views without locality knowledge of their
+/// own; container-backed views stamp owner/cached_at/bytes themselves).
+template <typename G>
+[[nodiscard]] std::vector<chunk_descriptor<G>>
+make_descriptors(std::vector<std::vector<G>> runs, std::size_t elem_bytes)
+{
+  std::vector<chunk_descriptor<G>> out;
+  out.reserve(runs.size());
+  for (auto& r : runs) {
+    chunk_descriptor<G> d;
+    d.bytes = static_cast<std::uint64_t>(r.size()) * elem_bytes;
+    d.gids = std::move(r);
+    d.owner = this_location();
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+/// This location's bView, coarsened into chunk descriptors: the view's own
+/// chunks(grain) when it has one, else descriptor-wrapped fixed-size runs
+/// of local_gids().
 template <typename V>
 [[nodiscard]] auto view_chunks(V const& v, std::size_t grain)
 {
   if constexpr (has_member_chunks<V>)
     return v.chunks(grain);
   else
-    return chunk_gids(v.local_gids(), grain);
+    return make_descriptors(chunk_gids(v.local_gids(), grain),
+                            sizeof(typename V::value_type));
+}
+
+/// Elements per chunk task for this call: the explicit policy grain wins;
+/// otherwise default_grain, filtered through the view's (container's)
+/// adaptive grain hint when it has one — the feedback loop closed by
+/// note_task_graph_stats below.
+template <typename V>
+[[nodiscard]] std::size_t effective_grain(V const& v, exec_policy const& pol)
+{
+  if (pol.grain != 0)
+    return std::max<std::size_t>(1, pol.grain);
+  std::size_t g = default_grain(v.size());
+  if constexpr (requires {
+                  { v.tuned_grain(g) } -> std::convertible_to<std::size_t>;
+                }) {
+    g = v.tuned_grain(g);
+  }
+  return std::max<std::size_t>(1, g);
+}
+
+/// Replicated task_options for one chunk descriptor.
+template <typename G>
+[[nodiscard]] task_options chunk_options(chunk_descriptor<G> const& d,
+                                         bool stealable)
+{
+  task_options o;
+  o.stealable = stealable;
+  o.cached_at = d.cached_at;
+  o.weight = d.bytes != 0 ? d.bytes : d.size();
+  if (!d.empty()) {
+    o.digest_lo = d.digest_lo();
+    o.digest_hi = d.digest_hi();
+    o.has_digest = true;
+  }
+  return o;
+}
+
+/// Closes the feedback loops after a steal-mode graph: the executor's
+/// steal/idle counters tune the container's grain hint, and lost-chunk
+/// placement events warm its affinity table (the source of the next
+/// graph's cached_at hints).  No-op for views without the hooks.
+template <typename V, typename TG>
+void feed_back_execution(V const& v, TG const& tg)
+{
+  if constexpr (requires { v.note_task_graph_stats(tg.stats()); })
+    v.note_task_graph_stats(tg.stats());
+  if constexpr (requires {
+                  v.note_chunk_placement(std::uint64_t{}, std::uint64_t{},
+                                         location_id{});
+                }) {
+    for (auto const& e : tg.lost_events())
+      v.note_chunk_placement(e.lo, e.hi, e.ran_at);
+  }
 }
 
 /// Whether this call's chunk tasks are steal candidates: strictly opt-in
@@ -642,10 +825,13 @@ template <typename V>
 }
 
 /// Builds and runs one chunk-task graph over `v`: `body(gid)` per element.
-/// When the chunks are stealable, chunk counts are allgathered so every
-/// location replicates the full descriptor (stealing resolves task ids
-/// across locations); each location attaches its own chunks as payloads.
-/// In the default non-stealable case no location ever references another
+/// When the chunks are stealable, the chunk *descriptors* are allgathered
+/// so every location replicates the full graph descriptor — task ids,
+/// owners, locality annotations — and each chunk task spawns on its
+/// descriptor's owner (which may differ from the location that produced
+/// it, e.g. a repartitioning view whose deal crosses the storage
+/// distribution); the owner attaches the GID run as the payload.  In the
+/// default non-stealable case no location ever references another
 /// location's tasks, so each builds only its own chunk tasks — no
 /// metadata exchange at all — and the executor's local-drain schedule
 /// plus trailing fence match the classic one-task-per-location map.
@@ -653,16 +839,14 @@ template <typename View, typename PerGid>
 void chunked_for_each_gid(View const& v, exec_policy pol, PerGid body)
 {
   using gid_type = typename View::gid_type;
-  std::size_t const grain =
-      std::max<std::size_t>(1, pol.grain ? pol.grain
-                                         : default_grain(v.size()));
-  task_options const opts{stealable_for<View>(pol) && pol.steal &&
-                          num_locations() > 1};
+  std::size_t const grain = effective_grain(v, pol);
+  bool const steal_chunks = stealable_for<View>(pol) && pol.steal &&
+                            num_locations() > 1;
   // One work-function instance per location, shared by its chunk tasks (and
   // by any replica a thief runs), so stateful work functions behave as they
   // did with one task per location.
   auto shared_body = std::make_shared<PerGid>(std::move(body));
-  if (!opts.stealable) {
+  if (!steal_chunks) {
     // Local chunk tasks over index ranges of one shared bView snapshot —
     // no payload copies, no descriptor replication (see above).
     auto const gids =
@@ -683,7 +867,6 @@ void chunked_for_each_gid(View const& v, exec_policy pol, PerGid body)
     tg.execute();
     return;
   }
-  auto chunks = view_chunks(v, grain);
   auto work = [shared_body](std::vector<char> const&,
                             std::vector<gid_type> const& gids) {
     for (auto const& g : gids)
@@ -692,16 +875,18 @@ void chunked_for_each_gid(View const& v, exec_policy pol, PerGid body)
   };
   task_graph<char, std::vector<gid_type>> tg;
   tg.set_stealing(pol.steal);
-  auto const counts = allgather(chunks.size());
+  auto all = allgather(view_chunks(v, grain));
   for (location_id l = 0; l < num_locations(); ++l) {
-    for (std::size_t k = 0; k < counts[l]; ++k) {
-      if (l == this_location())
-        tg.add_task(l, work, std::move(chunks[k]), opts);
+    for (auto& d : all[l]) {
+      task_options const opts = chunk_options(d, true);
+      if (d.owner == this_location())
+        tg.add_task(d.owner, work, std::move(d.gids), opts);
       else
-        tg.add_task(l, work, {}, opts);
+        tg.add_task(d.owner, work, {}, opts);
     }
   }
   tg.execute();
+  feed_back_execution(v, tg);
 }
 
 } // namespace tg_detail
@@ -757,9 +942,7 @@ template <typename View, typename Map, typename Reduce>
                                            typename View::value_type>::type;
   using EV = std::pair<T, bool>;  ///< (partial, nonempty)
 
-  std::size_t const grain =
-      std::max<std::size_t>(1, pol.grain ? pol.grain
-                                         : default_grain(v.size()));
+  std::size_t const grain = tg_detail::effective_grain(v, pol);
   bool const steal_chunks = tg_detail::stealable_for<View>(pol) &&
                             pol.steal && num_locations() > 1;
 
@@ -852,16 +1035,21 @@ template <typename View, typename Map, typename Reduce>
     return out.second ? std::optional<T>(out.first) : std::optional<T>{};
   }
 
-  auto chunks = tg_detail::view_chunks(v, grain);
-  auto const counts = allgather(chunks.size());
+  // Stealable leaves: replicate the full chunk-descriptor set so every
+  // location can place each leaf on its descriptor's owner and annotate it
+  // for locality-aware stealing; only the owner keeps the GID payload.
+  auto all = allgather(tg_detail::view_chunks(v, grain));
+  std::vector<std::size_t> counts;
+  counts.reserve(all.size());
   std::size_t total = 0;
-  for (auto c : counts)
-    total += c;
+  for (auto const& descs : all) {
+    counts.push_back(descs.size());
+    total += descs.size();
+  }
   if (total == 0)
     return std::optional<T>{};
   task_graph<EV, std::vector<gid_type>> tg;
   tg.set_stealing(pol.steal);
-  task_options const stealable{true};
   auto leaf_work = [fold_one](std::vector<EV> const&,
                               std::vector<gid_type> const& gs) mutable {
     EV acc{T{}, false};
@@ -870,12 +1058,15 @@ template <typename View, typename Map, typename Reduce>
     return acc;
   };
   auto leaf_for = [&](location_id l, std::size_t k) {
-    return l == this_location()
-               ? tg.add_task(l, leaf_work, std::move(chunks[k]), stealable)
-               : tg.add_task(l, leaf_work, {}, stealable);
+    auto& d = all[l][k];
+    task_options const opts = tg_detail::chunk_options(d, true);
+    return d.owner == this_location()
+               ? tg.add_task(d.owner, leaf_work, std::move(d.gids), opts)
+               : tg.add_task(d.owner, leaf_work, {}, opts);
   };
   auto const sinks = wire(tg, counts, leaf_for);
   tg.execute();
+  tg_detail::feed_back_execution(v, tg);
   EV const out = tg.result_of(sinks[this_location()]);
   return out.second ? std::optional<T>(out.first) : std::optional<T>{};
 }

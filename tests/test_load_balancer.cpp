@@ -298,6 +298,171 @@ TEST_P(load_balancer_test, AdvanceEpochHonorsInterval)
 }
 
 // ---------------------------------------------------------------------------
+// Lock-free note_access: sampled sketch, exact load counters
+// ---------------------------------------------------------------------------
+
+// The owner hot path now bumps relaxed atomic counters and only takes the
+// directory mutex for sampled (1-in-N) sketch updates.  The load counters
+// must match the old locked path exactly — under the direct transport the
+// accesses run concurrently on caller threads, the regime the lock-free
+// path exists for — and the weighted sketch must keep every genuinely hot
+// GID on the books.
+TEST_P(load_balancer_test, SampledNoteAccessCountsMatchLockedPath)
+{
+  unsigned const p = 4;
+  execute(config_for(GetParam(), p), [] {
+    std::size_t const n = 16 * num_locations();
+    std::size_t const hot = 16; // location 0's closed-form block
+    int const rounds = 40;
+
+    for (unsigned sample : {1u, 4u}) {
+      p_array<long> pa(n, 0);
+      load_balancer_config cfg;
+      cfg.hot_k = 64;
+      cfg.access_sample = sample;
+      pa.enable_load_balancing(cfg);
+      EXPECT_EQ(pa.get_directory().access_sample_every(), sample);
+
+      skewed_workload(pa, hot, rounds);
+
+      // The per-epoch load counter counts *every* owner access, sampled
+      // sketch or not: identical to the locked path's verdict.
+      std::uint64_t const expect =
+          static_cast<std::uint64_t>(hot) * rounds * num_locations();
+      auto const loads = allgather(pa.get_directory().epoch_accesses());
+      std::uint64_t total = 0;
+      for (auto l : loads)
+        total += l;
+      EXPECT_EQ(total, expect)
+          << "lock-free counter diverged at sample=" << sample;
+      EXPECT_EQ(loads[0], expect) << "accesses counted off-owner";
+
+      // The sketch tracks all hot GIDs (weight-compensated sampling: each
+      // is expected ~rounds*P/sample times, so none can be missed), and
+      // its count estimates stay within the space-saving error bound.
+      if (this_location() == 0) {
+        auto const top = pa.get_directory().hot_elements();
+        EXPECT_GE(top.size(), hot);
+        std::uint64_t sketch_total = 0;
+        for (auto const& [g, count] : top) {
+          EXPECT_LT(g, hot);
+          sketch_total += count;
+        }
+        if (sample == 1) {
+          EXPECT_EQ(sketch_total, expect); // exact when unsampled
+        }
+      }
+      rmi_fence();
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// advance_epoch() auto-tuning from imbalance drift
+// ---------------------------------------------------------------------------
+
+TEST_P(load_balancer_test, AdvanceEpochAutoTunesInterval)
+{
+  unsigned const p = 4;
+  execute(config_for(GetParam(), p), [] {
+    std::size_t const n = 8 * num_locations();
+    p_array<long> pa(n, 0);
+
+    load_balancer_config cfg;
+    cfg.imbalance_threshold = 1.3;
+    cfg.epoch_interval = 4;
+    cfg.auto_epoch = true;
+    cfg.min_epoch_interval = 1;
+    cfg.max_epoch_interval = 8;
+    pa.enable_load_balancing(cfg);
+    EXPECT_EQ(pa.epoch_interval(), 4u);
+
+    // Skewed epoch: the wave triggers -> the interval halves (placement
+    // is in flux, re-measure sooner).
+    skewed_workload(pa, 8, 20);
+    std::optional<rebalance_report> rep;
+    for (int e = 0; e < 4; ++e) {
+      EXPECT_FALSE(rep.has_value());
+      rep = pa.advance_epoch();
+    }
+    ASSERT_TRUE(rep.has_value());
+    EXPECT_TRUE(rep->triggered);
+    EXPECT_EQ(pa.epoch_interval(), 2u);
+
+    // The next wave sees a big drift (skew collapsed to idle): halve
+    // again to the floor.
+    rep = pa.advance_epoch();
+    EXPECT_FALSE(rep.has_value());
+    rep = pa.advance_epoch();
+    ASSERT_TRUE(rep.has_value());
+    EXPECT_FALSE(rep->triggered);
+    EXPECT_EQ(pa.epoch_interval(), 1u);
+
+    // Quiet, stable epochs: the interval doubles back out toward the cap
+    // (stop paying measurement fences when nothing moves).
+    rep = pa.advance_epoch();
+    ASSERT_TRUE(rep.has_value());
+    EXPECT_EQ(pa.epoch_interval(), 2u);
+    rep = pa.advance_epoch();
+    EXPECT_FALSE(rep.has_value());
+    rep = pa.advance_epoch();
+    ASSERT_TRUE(rep.has_value());
+    EXPECT_EQ(pa.epoch_interval(), 4u);
+    rmi_fence();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Task-graph stats as the balancer's second signal
+// ---------------------------------------------------------------------------
+
+// Two locations with identical directory access counts, but the executor
+// reports one of them kept losing its chunk tasks to thieves: the load
+// model must rank the loser hotter and trigger a wave that plain access
+// counts would not.
+TEST_P(load_balancer_test, TaskStatsShiftTheLoadModel)
+{
+  unsigned const p = 4;
+  execute(config_for(GetParam(), p), [] {
+    std::size_t const n = 16 * num_locations();
+    p_array<long> pa(n, 0);
+
+    load_balancer_config cfg;
+    cfg.imbalance_threshold = 1.3;
+    cfg.task_stats_weight = 1.0;
+    pa.enable_load_balancing(cfg);
+
+    // Balanced element traffic: every location pounds its own block.
+    for (int r = 0; r < 20; ++r)
+      for (std::size_t k = 0; k < 8; ++k)
+        pa.apply_set(this_location() * 16 + k, [](long& v) { v += 1; });
+    rmi_fence();
+
+    // Executor verdict: location 0 lost a task-equivalent of most of its
+    // accesses; the others pulled that work in.
+    task_graph_stats s;
+    if (this_location() == 0) {
+      s.tasks_run = 4;
+      s.tasks_lost = 12;
+    } else {
+      s.tasks_run = 8;
+      s.tasks_stolen = 4;
+    }
+    pa.note_task_graph_stats(s);
+
+    auto const rep = pa.rebalance();
+    EXPECT_TRUE(rep.triggered)
+        << "task-graph losses did not register as load";
+    EXPECT_GT(rep.imbalance_before, cfg.imbalance_threshold);
+
+    // The wave resets both signals so the next epoch measures fresh.
+    EXPECT_EQ(pa.epoch_task_stats().tasks_lost, 0u);
+    EXPECT_EQ(pa.get_directory().epoch_accesses(), 0u);
+    rmi_fence();
+  });
+}
+
+// ---------------------------------------------------------------------------
 // Forwarding-hint reclamation under repeated migration waves
 // ---------------------------------------------------------------------------
 

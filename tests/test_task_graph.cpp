@@ -258,6 +258,97 @@ TEST_P(task_graph_test, StealingPreservesResultsNotSchedules)
   });
 }
 
+TEST_P(task_graph_test, StealHalfGrantsBatchesAndPreservesResults)
+{
+  execute(config_for(GetParam(), 4), [] {
+    // A large all-on-location-0 backlog of sleeping tasks: steal-half
+    // grants ship several tasks per probe, and the result must not depend
+    // on how the batches were cut.
+    long expect = 0;
+    for (int i = 0; i < 32; ++i)
+      expect += static_cast<long>(i) * i;
+    task_graph_stats stats;
+    long const got = run_imbalanced(true, &stats, 32);
+    EXPECT_EQ(got, expect);
+    EXPECT_EQ(stats.tasks_run, 32u + num_locations());
+    EXPECT_GT(stats.tasks_stolen, 0u);
+    EXPECT_EQ(stats.tasks_stolen, stats.tasks_lost);
+    // Every grant carries at least one task, and with a 32-task backlog
+    // the first grants carry many — batching is visible as more tasks
+    // stolen than probe round trips that returned work.
+    EXPECT_GE(stats.tasks_stolen, stats.steal_grants);
+    rmi_fence();
+  });
+}
+
+// The ISSUE's constructed two-victim scenario, at the unit level: the
+// victim order is computed from the replicated descriptor, so it is a pure
+// function — the thief must rank the victim whose stealable chunks are
+// annotated cached-at-thief above a colder, even more loaded one.
+TEST(steal_victim_order, PrefersCacheWarmThenLoadedVictims)
+{
+  // Location 3's perspective: 0 and 2 own more tasks, but 1 owns two
+  // chunks cached at 3.
+  auto const order = steal_victim_order(
+      3, /*owned=*/{8, 5, 8, 0}, /*warmth=*/{0, 2, 0, 0});
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u) << "cache-warm victim not probed first";
+  EXPECT_EQ(order[1], 0u) << "load order (ties toward lower id) broken";
+  EXPECT_EQ(order[2], 2u);
+
+  // No warmth anywhere: pure descending-load order, lower id on ties.
+  auto const cold = steal_victim_order(0, {0, 3, 7, 3}, {0, 0, 0, 0});
+  ASSERT_EQ(cold.size(), 3u);
+  EXPECT_EQ(cold[0], 2u);
+  EXPECT_EQ(cold[1], 1u);
+  EXPECT_EQ(cold[2], 3u);
+}
+
+TEST_P(task_graph_test, TwoVictimStealPrefersCacheWarmVictim)
+{
+  execute(config_for(GetParam(), 3), [] {
+    // Locations 1 and 2 each own a backlog of sleeping stealable tasks;
+    // location 1's are annotated cached-at-0.  The idle location 0 must
+    // drain the warm victim first.  Each task returns the location that
+    // executed it, so the owners can count where their work went.
+    int const per_victim = 12;
+    task_graph<long> tg;
+    using tid = task_graph<long>::task_id;
+    std::vector<tid> warm_tasks, cold_tasks;
+    task_options warm;
+    warm.stealable = true;
+    warm.cached_at = 0;
+    task_options cold;
+    cold.stealable = true;
+    auto work = [](std::vector<long> const&, char const&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      return static_cast<long>(this_location());
+    };
+    for (int i = 0; i < per_victim; ++i) {
+      warm_tasks.push_back(tg.add_task(1, work, {}, warm));
+      cold_tasks.push_back(tg.add_task(2, work, {}, cold));
+    }
+    tg.execute();
+
+    // Owners know where each of their tasks ran (completion records).
+    int warm_to_thief = 0, cold_to_thief = 0;
+    if (this_location() == 1)
+      for (tid const t : warm_tasks)
+        warm_to_thief += tg.result_of(t) == 0 ? 1 : 0;
+    if (this_location() == 2)
+      for (tid const t : cold_tasks)
+        cold_to_thief += tg.result_of(t) == 0 ? 1 : 0;
+    auto const warm_stolen = allreduce(warm_to_thief, std::plus<>{});
+    auto const cold_stolen = allreduce(cold_to_thief, std::plus<>{});
+    // The schedule is timing-dependent, but the warm victim is always
+    // probed first, so it can never lose *more* work to the thief than
+    // the cold one... it must lose at least as much.
+    EXPECT_GE(warm_stolen, cold_stolen)
+        << "thief drained the cold victim before the cache-warm one";
+    rmi_fence();
+  });
+}
+
 TEST_P(task_graph_test, NonStealableTasksStayHome)
 {
   execute(config_for(GetParam(), 4), [] {
@@ -277,6 +368,91 @@ TEST_P(task_graph_test, NonStealableTasksStayHome)
 }
 
 // ---------------------------------------------------------------------------
+// Adaptive grain and placement feedback (locality pipeline)
+// ---------------------------------------------------------------------------
+
+TEST_P(task_graph_test, AdaptiveGrainShrinksUnderStealsAndRecovers)
+{
+  execute(config_for(GetParam(), 4), [] {
+    p_array<long> pa(1024);
+    EXPECT_DOUBLE_EQ(pa.grain_factor(), 1.0);
+    std::size_t const base = 1000;
+    EXPECT_EQ(pa.tuned_grain(base), base);
+
+    // A graph that moved >= 25% of this location's tasks: chunks were too
+    // coarse to balance — the factor halves (and keeps halving down to
+    // the clamp across consecutive stormy graphs).
+    task_graph_stats stormy;
+    stormy.tasks_run = 8;
+    stormy.tasks_stolen = 4;
+    pa.note_task_graph_stats(stormy);
+    EXPECT_DOUBLE_EQ(pa.grain_factor(), 0.5);
+    EXPECT_EQ(pa.tuned_grain(base), 500u);
+    for (int i = 0; i < 10; ++i)
+      pa.note_task_graph_stats(stormy);
+    EXPECT_DOUBLE_EQ(pa.grain_factor(), grain_tuner::min_factor);
+    EXPECT_GE(pa.tuned_grain(base), 1u);
+
+    // Quiet steal-free graphs relax the factor back up (clamped above).
+    task_graph_stats quiet;
+    quiet.tasks_run = 8;
+    double prev = pa.grain_factor();
+    pa.note_task_graph_stats(quiet);
+    EXPECT_GT(pa.grain_factor(), prev);
+    for (int i = 0; i < 40; ++i)
+      pa.note_task_graph_stats(quiet);
+    EXPECT_DOUBLE_EQ(pa.grain_factor(), grain_tuner::max_factor);
+
+    // Both signals accumulated into the epoch's task stats (the load
+    // balancer's second signal) until reset.
+    EXPECT_GT(pa.epoch_task_stats().tasks_run, 0u);
+    EXPECT_GT(pa.epoch_task_stats().tasks_stolen, 0u);
+    pa.reset_task_stats();
+    EXPECT_EQ(pa.epoch_task_stats().tasks_run, 0u);
+    rmi_fence();
+  });
+}
+
+TEST_P(task_graph_test, PlacementFeedbackWarmsChunkDescriptors)
+{
+  execute(config_for(GetParam(), 4), [] {
+    std::size_t const n = 64 * num_locations();
+    p_array<long> pa(n, 0);
+    array_1d_view v(pa);
+
+    // Cold start: no placement has been observed, no cached-at hints.
+    for (auto const& d : v.chunks(16))
+      EXPECT_EQ(d.cached_at, invalid_location);
+
+    // A deliberately skewed stealable run: location 0's elements carry all
+    // the work, so thieves drag its chunks away and the lost_events()
+    // feedback lands in the container's affinity table.
+    exec_policy pol;
+    pol.grain = 8;
+    pol.stealable = true;
+    p_for_each_gid(v, [n](gid1d g, long& x) {
+      if (g < n / 4)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      x += 1;
+    }, pol);
+
+    // Where steals happened, the owner's next descriptors carry hints
+    // (the schedule is timing-dependent, so gate on observed losses).
+    if (pa.epoch_task_stats().tasks_lost > 0) {
+      bool any_warm = false;
+      for (auto const& d : v.chunks(16))
+        any_warm |= d.cached_at != invalid_location;
+      EXPECT_TRUE(any_warm)
+          << "chunks were lost to thieves but no descriptor warmed up";
+    }
+    auto const total_lost = allreduce(pa.epoch_task_stats().tasks_lost,
+                                      std::plus<>{});
+    EXPECT_GT(total_lost, 0u) << "skewed sleeping chunks were never stolen";
+    rmi_fence();
+  });
+}
+
+// ---------------------------------------------------------------------------
 // Chunk tasks vs. concurrent element migration
 // ---------------------------------------------------------------------------
 
@@ -289,13 +465,11 @@ TEST_P(task_graph_test, ChunkTasksExactlyOnceUnderConcurrentMigration)
 
     // Chunk tasks increment every element through the routed apply path
     // (stealable: correct from any location) while migrator tasks scatter
-    // elements between locations mid-flight.
+    // elements between locations mid-flight.  Chunks travel as replicated
+    // descriptors, like every chunked factory.
     task_graph<char, std::vector<gid1d>> tg;
-    task_options stealable;
-    stealable.stealable = true;
-    auto const my_gids = pa.local_gids();
-    auto chunks = tg_detail::chunk_gids(my_gids, 16);
-    auto const counts = allgather(chunks.size());
+    auto all = allgather(tg_detail::make_descriptors(
+        tg_detail::chunk_gids(pa.local_gids(), 16), sizeof(long)));
     auto work = [&pa](std::vector<char> const&,
                       std::vector<gid1d> const& gids) {
       for (auto g : gids)
@@ -303,11 +477,12 @@ TEST_P(task_graph_test, ChunkTasksExactlyOnceUnderConcurrentMigration)
       return char{};
     };
     for (location_id l = 0; l < num_locations(); ++l)
-      for (std::size_t k = 0; k < counts[l]; ++k) {
-        if (l == this_location())
-          tg.add_task(l, work, std::move(chunks[k]), stealable);
+      for (auto& d : all[l]) {
+        task_options const opts = tg_detail::chunk_options(d, true);
+        if (d.owner == this_location())
+          tg.add_task(d.owner, work, std::move(d.gids), opts);
         else
-          tg.add_task(l, work, {}, stealable);
+          tg.add_task(d.owner, work, {}, opts);
       }
     // One migrator task per location, interleaved with the increments:
     // each scatters a slice of the domain to the next location over.

@@ -8,11 +8,42 @@ For every bench present in both directories, every table row is matched by
 its first cell (the row key, e.g. the location count) and each numeric
 column's relative change is reported.  Informational only — the caller
 treats the output as a job-summary annotation, never as a gate.
+
+Columns whose direction is unambiguous (``*_s``/``seconds`` are
+lower-is-better; recovery/speedup/mops are higher-is-better) additionally
+emit a GitHub ``::warning`` workflow command on stderr when they regress
+by more than REGRESSION_PCT — stdout stays pure markdown so the caller can
+keep redirecting it into the job summary, while the runner picks the
+annotations out of the log.  Still non-blocking: warnings only, exit 0.
 """
 
 import json
 import sys
 from pathlib import Path
+
+REGRESSION_PCT = 10.0
+
+LOWER_IS_BETTER_SUFFIXES = ("_s",)
+LOWER_IS_BETTER_NAMES = {"seconds"}
+HIGHER_IS_BETTER_NAMES = {"recovery", "speedup", "mops"}
+
+
+def column_direction(name):
+    """-1 = lower is better, +1 = higher is better, 0 = don't judge."""
+    if name in LOWER_IS_BETTER_NAMES or name.endswith(LOWER_IS_BETTER_SUFFIXES):
+        return -1
+    if name in HIGHER_IS_BETTER_NAMES:
+        return 1
+    return 0
+
+
+def warn_regression(bench, table, row_key, col, pct):
+    print(
+        f"::warning title=Bench regression ({bench})::"
+        f"{table} — row {row_key}, {col}: {pct:+.1f}% vs previous main run "
+        f"(threshold {REGRESSION_PCT:.0f}%, non-blocking)",
+        file=sys.stderr,
+    )
 
 
 def load_benches(d):
@@ -73,6 +104,18 @@ def main():
                     delta = None
                     if i < len(row) and i < len(old):
                         delta = fmt_delta(old[i], row[i])
+                        direction = column_direction(cols[i])
+                        if (
+                            direction != 0
+                            and isinstance(old[i], (int, float))
+                            and isinstance(row[i], (int, float))
+                            and old[i] != 0
+                        ):
+                            pct = 100.0 * (row[i] - old[i]) / abs(old[i])
+                            if pct * direction < -REGRESSION_PCT:
+                                warn_regression(name.removeprefix("BENCH_"),
+                                                table["title"], str(row[0]),
+                                                cols[i], pct)
                     cells.append(delta if delta is not None else "–")
                 lines.append("| " + " | ".join(cells) + " |")
             if not lines:
