@@ -20,17 +20,27 @@
 //   3. (--locality) cache-warm vs cold steals — an idle thief facing
 //      several loaded victims, one of whose chunks are annotated
 //      cached-at-thief: the locality-aware victim order must concentrate
-//      the thief's steals on the warm victim, against a hint-less control.
+//      the thief's steals on the warm victim, against a hint-less control;
+//   4. (--spawn) the stealable spawn path — descriptor-exchange bytes and
+//      spawn latency of a dense integral-GID chunked map: the measured
+//      spawn_bytes (wire forms only) against what the pre-split
+//      full-descriptor allgather would have shipped (raw GID vectors to
+//      every peer), plus a repartitioning balanced deal whose payloads
+//      must be forwarded producer→owner.
 //
 // Run with --json to also write BENCH_taskgraph.json.
 
 #include "bench_common.hpp"
+#include "algorithms/p_algorithms.hpp"
+#include "containers/p_array.hpp"
 #include "runtime/task_graph.hpp"
+#include "views/views.hpp"
 
 #include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string_view>
 #include <thread>
 #include <vector>
@@ -154,9 +164,13 @@ int main(int argc, char** argv)
 {
   bench::init(argc, argv);
   bool locality_mode = false;
-  for (int i = 1; i < argc; ++i)
+  bool spawn_mode = false;
+  for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--locality")
       locality_mode = true;
+    if (std::string_view(argv[i]) == "--spawn")
+      spawn_mode = true;
+  }
   std::printf("# Task-graph executor — work stealing on imbalanced "
               "(Zipf-sized) chunks\n");
 
@@ -255,6 +269,96 @@ int main(int argc, char** argv)
       bench::cell(tc.load());
       bench::cell(sh.load());
       bench::cell(sc.load());
+      bench::endrow();
+    }
+  }
+
+  if (spawn_mode) {
+    // The stealable spawn path on dense integral-GID chunks: every chunk
+    // of an aligned array view is one contiguous run, so the wire-form
+    // exchange plus run-encoded payloads collapse the O(elements)
+    // descriptor allgather of the pre-split scheme to O(chunks)
+    // metadata.  full_bytes reconstructs what that scheme would have
+    // shipped (raw GID vectors + metadata to each of the P-1 peers);
+    // wire_bytes is the measured spawn_bytes counter.
+    bench::table_header("--spawn: metadata-only descriptor exchange "
+                        "(dense integral-GID chunks)",
+                        {"locations", "full_bytes", "wire_bytes",
+                         "reduction", "spawn_s"});
+    for (unsigned p : {2u, 4u, 8u}) {
+      std::atomic<std::uint64_t> fullb{0}, wireb{0};
+      std::atomic<double> sp{0};
+      execute(p, [&] {
+        std::size_t const n = 2048 * num_locations() * bench::scale();
+        p_array<long> pa(n, 1);
+        array_1d_view v(pa);
+        exec_policy pol;
+        pol.grain = 128;
+        pol.stealable = true;
+        std::uint64_t full = 0;
+        for (auto const& d : v.chunks(pol.grain))
+          full += packed_size(d.gids.to_vector()) + packed_size(d.wire());
+        full *= num_locations() - 1;
+        // The chunk body is one add: wall time is spawn exchange + graph
+        // machinery, i.e. the per-spawn overhead the split removes.
+        double const sec = bench::timed_kernel(
+            [&] { p_for_each(v, [](long& x) { x += 1; }, pol); });
+        auto const spawn =
+            allreduce(pa.epoch_task_stats().spawn_bytes,
+                      std::plus<std::uint64_t>{});
+        auto const full_total =
+            allreduce(full, std::plus<std::uint64_t>{});
+        if (this_location() == 0) {
+          fullb.store(full_total);
+          wireb.store(spawn);
+          sp.store(sec);
+        }
+      });
+      bench::cell(static_cast<std::size_t>(p));
+      bench::cell(static_cast<std::size_t>(fullb.load()));
+      bench::cell(static_cast<std::size_t>(wireb.load()));
+      bench::cell(wireb.load() > 0 ? static_cast<double>(fullb.load()) /
+                                         static_cast<double>(wireb.load())
+                                   : 0.0);
+      bench::cell(sp.load());
+      bench::endrow();
+    }
+
+    // Repartitioning deal: a balanced view over a blocked array crosses
+    // the storage distribution, so some chunks are produced on a
+    // location other than their (storage) owner — their run-encoded
+    // payloads travel point-to-point instead of riding any collective.
+    bench::table_header("--spawn: payload forwarding "
+                        "(balanced deal over blocked storage)",
+                        {"locations", "payload_fwds", "spawn_bytes",
+                         "spawn_s"});
+    for (unsigned p : {2u, 4u, 8u}) {
+      std::atomic<std::uint64_t> fwds{0}, bytes{0};
+      std::atomic<double> sp{0};
+      execute(p, [&] {
+        std::size_t const n = 2048 * num_locations() * bench::scale();
+        p_array<long> pa(n, 1);
+        balanced_view bv(pa, 4 * num_locations());
+        exec_policy pol;
+        pol.grain = 128;
+        pol.stealable = true;
+        double const sec = bench::timed_kernel(
+            [&] { p_for_each(bv, [](long& x) { x += 1; }, pol); });
+        auto const fw =
+            allreduce(pa.epoch_task_stats().payload_forwards,
+                      std::plus<std::uint64_t>{});
+        auto const sb = allreduce(pa.epoch_task_stats().spawn_bytes,
+                                  std::plus<std::uint64_t>{});
+        if (this_location() == 0) {
+          fwds.store(fw);
+          bytes.store(sb);
+          sp.store(sec);
+        }
+      });
+      bench::cell(static_cast<std::size_t>(p));
+      bench::cell(static_cast<std::size_t>(fwds.load()));
+      bench::cell(static_cast<std::size_t>(bytes.load()));
+      bench::cell(sp.load());
       bench::endrow();
     }
   }

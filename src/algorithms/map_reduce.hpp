@@ -6,12 +6,15 @@
 //
 // The map phase runs as chunk tasks on the task-graph executor
 // (runtime/task_graph.hpp), coarsened through the view's chunk
-// descriptors (runtime/locality.hpp) like every chunked factory: each
+// descriptors (runtime/locality.hpp) like every chunked factory —
+// including the metadata-only spawn exchange: stealable map phases
+// replicate chunk wire forms only, never the GID runs.  Each
 // chunk maps its elements to (key, value) pairs and pre-combines them in
 // a location-local table (the classic combiner optimization) — one table
 // per location, shared by all of that location's chunk tasks, and by any
 // chunk a thief runs on its own replica, so stealing redistributes
-// combine work without changing the result.  After the map graph drains, each location flushes its combined
+// combine work without changing the result.  After the map graph drains,
+// each location flushes its combined
 // pairs into the distributed pHashMap with asynchronous
 // accumulate-updates: the shuffle is one asynchronous RMI per distinct
 // (location, key) rather than per emitted pair.

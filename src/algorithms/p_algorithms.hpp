@@ -11,7 +11,10 @@
 // and runs them on the distributed executor, which places each chunk task
 // on its descriptor's owner and schedules steals against the locality
 // annotations.  No algorithm call site handles raw GID vectors: the
-// descriptor carries the locality metadata end-to-end.  Element access
+// descriptor carries the locality metadata end-to-end, and on stealable
+// paths only its compact wire form is replicated — the run-encoded GID
+// payload stays with its producer (attached locally or forwarded
+// point-to-point to a remote owner; see task_graph.hpp).  Element access
 // takes the direct-reference fast path when local (native/aligned views)
 // and the shared-object read/write path otherwise, so chunk tasks are
 // location-transparent: opting a chunk into stealing

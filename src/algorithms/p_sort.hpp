@@ -107,9 +107,15 @@ void p_sample_sort(C& arr, Compare cmp = {})
   //    value (each location's chain task adds its bucket size), and the
   //    write-back is coarsened into chunk tasks over the local bucket —
   //    grain from the container's adaptive hint (the locality pipeline's
-  //    grain feedback), counts allgathered so the replicated descriptor
-  //    stays aligned.  Every chunk fires as soon as its location's offset
-  //    arrives — no size allgather, no phase barrier.
+  //    grain feedback).  The spawn exchange is metadata-only like every
+  //    chunked factory: each location allgathers compact chunk_wire
+  //    records (element/byte counts; the target GIDs depend on the
+  //    offset chain, so no digest bounds) to keep the replicated
+  //    descriptor aligned, counted by spawn_bytes and fed back into the
+  //    container's epoch task stats so the counter stays observable.
+  //    The tasks themselves stay owner-pinned — they read the
+  //    location-local bucket — so no payload ever needs to travel.  Every chunk fires as soon as its
+  //    location's offset arrives — no size allgather, no phase barrier.
   {
     std::size_t const grain = std::max<std::size_t>(
         1, arr.tuned_grain(default_grain(arr.size())));
@@ -125,13 +131,24 @@ void p_sample_sort(C& arr, Compare cmp = {})
       if (l > 0)
         tg.add_dependence(chain[l - 1], chain[l]);
     }
-    auto const nchunks =
-        allgather((bucket.elems.size() + grain - 1) / grain);
+    std::vector<chunk_wire> my_wires;
+    my_wires.reserve((bucket.elems.size() + grain - 1) / grain);
+    for (std::size_t b = 0; b < bucket.elems.size(); b += grain) {
+      chunk_wire w;
+      w.owner = this_location();
+      w.elements = std::min(grain, bucket.elems.size() - b);
+      w.bytes = w.elements * sizeof(T);
+      my_wires.push_back(w);
+    }
+    tg.note_spawn_bytes(static_cast<std::uint64_t>(packed_size(my_wires)) *
+                        (p - 1));
+    auto const all = allgather(my_wires);
     for (unsigned l = 0; l < p; ++l) {
-      for (std::size_t k = 0; k < nchunks[l]; ++k) {
+      for (std::size_t k = 0; k < all[l].size(); ++k) {
         tid const wb = tg.add_task(
-            l, [&bucket, &arr, k, grain](std::vector<std::size_t> const& ins,
-                                         char const&) {
+            l,
+            [&bucket, &arr, k, grain](std::vector<std::size_t> const& ins,
+                                      char const&) {
               std::size_t const offset = ins.empty() ? 0 : ins[0];
               std::size_t const b = k * grain;
               std::size_t const e =
@@ -139,12 +156,14 @@ void p_sample_sort(C& arr, Compare cmp = {})
               for (std::size_t i = b; i < e; ++i)
                 arr.set_element(offset + i, std::move(bucket.elems[i]));
               return std::size_t{0};
-            });
+            },
+            {}, tg_detail::wire_options(all[l][k], false));
         if (l > 0)
           tg.add_dependence(chain[l - 1], wb);
       }
     }
     tg.execute();
+    arr.note_task_graph_stats(tg.stats());
   }
 }
 

@@ -356,6 +356,16 @@ class p_container_base : public p_object {
     return m_affinity.lookup(lo, hi);
   }
 
+  /// Same lookup off a descriptor's wire form — the digest bounds peers
+  /// and the executor's placement feedback actually see, so the hint a
+  /// view stamps and the hint a thief's victim ranking reads cannot
+  /// diverge.
+  [[nodiscard]] location_id chunk_affinity(chunk_wire const& w) const
+  {
+    return w.has_digest ? chunk_affinity(w.digest_lo, w.digest_hi)
+                        : invalid_location;
+  }
+
   /// Framework-internal: drops the dynamic-resolution bookkeeping of an
   /// erased element (directory ownership + home record, overflow entries).
   /// Called by container erase methods at the owner; no-op when static.

@@ -14,7 +14,14 @@
 //     location, a cached-at hint (a peer believed to hold the chunk's data
 //     warm, fed back from previous executions) and a byte estimate.  Every
 //     view's chunks(grain) produces these; the executor places, steals and
-//     reports against them.
+//     reports against them.  The descriptor splits in two on the wire:
+//     a compact, payload-free chunk_wire (owner, cached-at, digest bounds,
+//     byte/element counts) that is replicated to every location so tasks
+//     can spawn on remote owners, and the run-encoded GID payload
+//     (gid_sequence, serialization.hpp), which only ever travels
+//     point-to-point — producer to owner when a repartitioning view's deal
+//     crosses the storage distribution, owner to thief inside a steal
+//     grant.  Metadata is cheap to replicate; element identity is not.
 //   * task_graph_stats — the executor's per-location counters.  Beyond
 //     monitoring they are *signals*: the grain tuner adapts chunk sizes
 //     from them, and the load balancer folds tasks_stolen/lost into its
@@ -28,8 +35,9 @@
 //     and lost-chunk placement events stamp the next graph's cached_at
 //     hints.
 //
-// Layering: this header depends only on runtime/types.hpp, so the views,
-// core and runtime layers can all include it without cycles.
+// Layering: this header depends only on runtime/types.hpp and
+// runtime/serialization.hpp (both self-contained), so the views, core and
+// runtime layers can all include it without cycles.
 
 #include <algorithm>
 #include <cstddef>
@@ -39,6 +47,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "serialization.hpp"
 #include "types.hpp"
 
 namespace stapl {
@@ -52,6 +61,13 @@ struct task_graph_stats {
   std::uint64_t steal_grants = 0;  ///< probes that returned work (>= 1 task)
   std::uint64_t steal_fail = 0;    ///< steal attempts that came back empty
   std::uint64_t values_sent = 0;   ///< dependence values shipped off-location
+  /// Spawn-path bytes this location shipped to peers: the wire-form
+  /// descriptor exchange plus any point-to-point payload forwards
+  /// (sender-side, packed sizes — what a network transport would move).
+  std::uint64_t spawn_bytes = 0;
+  /// Chunk payloads forwarded producer→owner (the repartitioning-view
+  /// case where a chunk's producer is not the location storing it).
+  std::uint64_t payload_forwards = 0;
 
   task_graph_stats& operator+=(task_graph_stats const& o) noexcept
   {
@@ -61,6 +77,8 @@ struct task_graph_stats {
     steal_grants += o.steal_grants;
     steal_fail += o.steal_fail;
     values_sent += o.values_sent;
+    spawn_bytes += o.spawn_bytes;
+    payload_forwards += o.payload_forwards;
     return *this;
   }
 };
@@ -86,13 +104,32 @@ template <typename G>
 
 } // namespace locality_detail
 
-/// One coarsened piece of a view's bView: a GID run plus the locality
-/// metadata the executor schedules against.  Produced by every view's
-/// chunks(grain); consumed end-to-end (placement, victim selection, grain
-/// feedback, balancer signals) instead of re-deriving locality per task.
+/// The replicable half of a chunk descriptor: everything the executor
+/// needs to spawn, place, rank and report a chunk task — owner, cached-at
+/// hint, digest bounds, byte/element counts — and nothing that scales
+/// with the chunk's contents.  This is what stealable spawn sites
+/// allgather; the GID payload itself stays with its producer and travels
+/// point-to-point (see chunk_descriptor).  Trivially copyable, so a
+/// vector of these marshals as a flat byte run.
+struct chunk_wire {
+  location_id owner = 0;                    ///< location owning the data
+  location_id cached_at = invalid_location; ///< peer holding it warm (hint)
+  std::uint64_t digest_lo = 0;              ///< GID-digest range of the run
+  std::uint64_t digest_hi = 0;
+  std::uint64_t bytes = 0;                  ///< estimated payload bytes
+  std::uint64_t elements = 0;               ///< chunk element count
+  bool has_digest = false;                  ///< digest bounds are meaningful
+};
+
+/// One coarsened piece of a view's bView: a run-encoded GID payload plus
+/// the locality metadata the executor schedules against.  Produced by
+/// every view's chunks(grain); consumed end-to-end (placement, victim
+/// selection, grain feedback, balancer signals) instead of re-deriving
+/// locality per task.  Only the producing location ever holds the full
+/// descriptor — peers see its wire() form.
 template <typename G>
 struct chunk_descriptor {
-  std::vector<G> gids;                      ///< the chunk's GID run (ordered)
+  gid_sequence<G> gids;                     ///< the chunk's GID run (ordered)
   location_id owner = 0;                    ///< location owning the data
   location_id cached_at = invalid_location; ///< peer holding it warm (hint)
   std::uint64_t bytes = 0;                  ///< estimated payload bytes
@@ -108,6 +145,22 @@ struct chunk_descriptor {
   [[nodiscard]] std::uint64_t digest_hi() const
   {
     return locality_detail::gid_digest(gids.back());
+  }
+
+  /// The metadata-only form peers receive.
+  [[nodiscard]] chunk_wire wire() const
+  {
+    chunk_wire w;
+    w.owner = owner;
+    w.cached_at = cached_at;
+    w.bytes = bytes;
+    w.elements = size();
+    if (!empty()) {
+      w.digest_lo = digest_lo();
+      w.digest_hi = digest_hi();
+      w.has_digest = true;
+    }
+    return w;
   }
 };
 
@@ -138,6 +191,25 @@ steal_victim_order(location_id me, std::vector<std::size_t> const& owned,
     return a < b;
   });
   return order;
+}
+
+/// Weight ceiling of one steal grant: the victim grants at most half of
+/// the weight by which its stealable backlog exceeds the thief's current
+/// ready backlog, so a thief that already holds work cannot end up
+/// hoarding more weight than the victim keeps.  An idle thief
+/// (backlog 0) gets the classic steal-half — including a lone small
+/// task, via the empty-handed floor of one unit — while a thief whose
+/// backlog already matches the victim's gets nothing.  Pure —
+/// handle_steal_request applies it, tests drive it directly.
+[[nodiscard]] constexpr std::uint64_t
+steal_grant_cap(std::uint64_t avail, std::uint64_t thief_backlog) noexcept
+{
+  if (thief_backlog >= avail)
+    return 0;
+  std::uint64_t const half = (avail - thief_backlog) / 2;
+  if (half == 0)
+    return thief_backlog == 0 ? 1 : 0;
+  return half;
 }
 
 // ---------------------------------------------------------------------------
@@ -190,8 +262,12 @@ class grain_tuner {
 /// executor reports lost chunks (digest range -> executing location) after
 /// each graph, and the views stamp the next graph's descriptors with the
 /// overlapping entry as the cached-at hint — so work keeps flowing to the
-/// location whose caches are already warm with that range.  FIFO-bounded;
-/// a new overlapping observation replaces the old one.
+/// location whose caches are already warm with that range.  FIFO-bounded.
+/// A new observation owns its exact range: entries it overlaps are
+/// trimmed to their non-overlapping remainders instead of being replaced
+/// whole, so a stale whole-range hint cannot swallow a sharper partial
+/// one (nor the other way round) when grain or chunk boundaries shift
+/// between graphs.
 class chunk_affinity_table {
  public:
   explicit chunk_affinity_table(std::size_t capacity = 32)
@@ -200,15 +276,24 @@ class chunk_affinity_table {
 
   void note(std::uint64_t lo, std::uint64_t hi, location_id where)
   {
-    for (auto& e : m_entries) {
-      if (e.lo <= hi && lo <= e.hi) {
-        e = {lo, hi, where};
-        return;
+    std::deque<entry> kept;
+    for (auto const& e : m_entries) {
+      if (e.hi < lo || hi < e.lo) {
+        kept.push_back(e);
+        continue;
       }
+      // Partial overlap: keep the old entry's remainder(s) outside the
+      // new observation.  (e.lo < lo implies lo > 0; e.hi > hi implies
+      // hi < max — the +/-1 cannot wrap.)
+      if (e.lo < lo)
+        kept.push_back({e.lo, lo - 1, e.where});
+      if (e.hi > hi)
+        kept.push_back({hi + 1, e.hi, e.where});
     }
-    if (m_entries.size() == m_capacity)
-      m_entries.pop_front();
-    m_entries.push_back({lo, hi, where});
+    kept.push_back({lo, hi, where});
+    while (kept.size() > m_capacity)
+      kept.pop_front();
+    m_entries = std::move(kept);
   }
 
   /// Location last observed executing a chunk overlapping [lo, hi], or

@@ -15,6 +15,17 @@
 // it.  This split is what makes stealing cheap — execution rights plus the
 // payload travel in one message; the closure is already everywhere.
 //
+// The same split governs the spawn path.  Stealable chunk factories
+// replicate only the chunk_wire metadata (owner, cached-at, digest
+// bounds, byte/element counts — runtime/locality.hpp); GID payloads are
+// run-length encoded (gid_sequence) and never replicated.  When a
+// repartitioning view's chunk is produced on a location other than its
+// owner, the producer forwards the payload point-to-point
+// (forward_payload -> handle_payload) and the owner holds the task back
+// from its ready queue until the payload lands.  task_graph_stats counts
+// the spawn traffic (spawn_bytes, payload_forwards) so the metadata-only
+// exchange stays observable.
+//
 // Value-carrying dependences
 // --------------------------
 // A task computes `E work(inputs, payload)`.  Its result is delivered to
@@ -93,6 +104,12 @@ struct task_options {
   /// split the ready tail by this weight, not by task count, so one huge
   /// chunk is not traded as if it equalled a tiny one.
   std::uint64_t weight = 0;
+  /// True when the owner's payload arrives by a point-to-point
+  /// forward_payload instead of add_task (a chunk produced on a location
+  /// other than its owner).  Replicated like the rest of the options —
+  /// every location passes owner != producer — but only the owner acts on
+  /// it: the task stays out of the ready queue until handle_payload.
+  bool payload_pending = false;
 };
 
 /// A distributed graph of coarsened tasks with value-carrying dependence
@@ -122,10 +139,42 @@ class task_graph : public p_object {
     tk.payload = std::move(payload);
     tk.owner = owner;
     tk.opts = opts;
+    tk.awaiting_payload = opts.payload_pending;
     m_tasks.push_back(std::move(tk));
     if (opts.stealable)
       m_has_stealable = true;
     return id;
+  }
+
+  /// Producer-side half of the payload split: ships task `t`'s GID
+  /// payload to its owner (the repartitioning-view case where the chunk
+  /// was produced on a location that does not store it).  Call between
+  /// add_task (with opts.payload_pending) and execute(); the owner holds
+  /// the task until the payload lands.  Counts the packed payload bytes
+  /// as spawn traffic.
+  void forward_payload(task_id t, P payload)
+  {
+    location_id owner;
+    {
+      std::lock_guard lock(m_mutex);
+      assert(t < m_tasks.size());
+      assert(!m_started && "payloads are forwarded at spawn time");
+      owner = m_tasks[t].owner;
+      m_stats.payload_forwards += 1;
+      m_stats.spawn_bytes += packed_size(payload);
+    }
+    assert(owner != this->get_location_id() &&
+           "a local owner takes its payload through add_task");
+    async_rmi<task_graph>(owner, this->get_handle(),
+                          &task_graph::handle_payload, t, std::move(payload));
+  }
+
+  /// Records spawn-path bytes this location shipped (the wire-form
+  /// descriptor exchange of the chunk factories).
+  void note_spawn_bytes(std::uint64_t n)
+  {
+    std::lock_guard lock(m_mutex);
+    m_stats.spawn_bytes += n;
   }
 
   /// Declares that `succ` consumes `pred`'s value (as its next input slot).
@@ -309,6 +358,19 @@ class task_graph : public p_object {
     deliver_locked(t, slot, std::move(v));
   }
 
+  /// At the owner: a producer forwarded the payload of our task `t`.
+  /// Like handle_value, a fast peer may deliver before this location
+  /// finished building its replica; such payloads park until seed().
+  void handle_payload(task_id t, P payload)
+  {
+    std::lock_guard lock(m_mutex);
+    if (!m_started && t >= m_tasks.size()) {
+      m_early_payloads.emplace_back(t, std::move(payload));
+      return;
+    }
+    accept_payload_locked(t, std::move(payload));
+  }
+
   /// At the owner: `ran_at` finished our task; record result and placement.
   void handle_complete(task_id t, E v, location_id ran_at)
   {
@@ -335,13 +397,18 @@ class task_graph : public p_object {
     P payload{};
   };
 
-  /// At a victim: `thief` wants work.  Steal-half: grant the back half of
-  /// the stealable ready tail in one message, not one task per probe — a
+  /// At a victim: `thief` wants work, carrying the weight of its own
+  /// current ready backlog.  Steal-half: grant the back half of the
+  /// stealable ready tail in one message, not one task per probe — a
   /// loaded victim sheds its backlog in O(log backlog) round trips.  The
   /// half is measured in task *weight* (the chunk descriptors' byte
   /// estimates) when the graph carries it, so a huge chunk is not traded
   /// as if it equalled a tiny one; weightless graphs split by count.
-  void handle_steal_request(location_id thief)
+  /// The grant is capped by steal_grant_cap so a thief that still holds
+  /// work cannot hoard more weight than the victim keeps (probes are
+  /// normally sent idle-handed, but value deliveries can refill the
+  /// thief while its probe is on the wire).
+  void handle_steal_request(location_id thief, std::uint64_t thief_backlog)
   {
     std::vector<stolen_task> grants;
     {
@@ -354,16 +421,19 @@ class task_graph : public p_object {
           std::uint64_t const w = m_tasks[m_ready[i].id].opts.weight;
           avail_w += w == 0 ? 1 : w;
         }
-      // Longest tail suffix whose weight stays within half of the
-      // stealable total (always at least one task).  Uniform weights
-      // reduce this to granting half the tail by count.
+      // Longest tail suffix whose weight stays within the hoarding cap.
+      // Only an idle-handed thief gets the first task unconditionally
+      // (the classic at-least-one floor); a loaded thief is capped
+      // strictly, so one huge chunk cannot smuggle more weight past the
+      // guard than the victim keeps.
+      std::uint64_t const cap = steal_grant_cap(avail_w, thief_backlog);
       std::size_t take = 0;
       std::uint64_t granted_w = 0;
-      for (std::size_t k = stealable.size(); k != 0; --k) {
+      for (std::size_t k = stealable.size(); cap != 0 && k != 0; --k) {
         std::uint64_t w =
             m_tasks[m_ready[stealable[k - 1]].id].opts.weight;
         w = w == 0 ? 1 : w;
-        if (take != 0 && (granted_w + w) * 2 > avail_w)
+        if ((take != 0 || thief_backlog != 0) && granted_w + w > cap)
           break;
         granted_w += w;
         take += 1;
@@ -460,6 +530,9 @@ class task_graph : public p_object {
     location_id ran_at = invalid_location;  ///< where it executed (owner side)
     bool queued = false;         ///< entered the ready queue
     bool done = false;           ///< completed (authoritative at owner)
+    /// Owner side: a forwarded payload has not landed yet (gates the
+    /// ready queue alongside the input slots).
+    bool awaiting_payload = false;
   };
 
   struct ready_item {
@@ -483,7 +556,23 @@ class task_graph : public p_object {
     // Readiness is only decided once this location finished building its
     // replica (n_inputs is final then); seed() re-scans for early arrivals.
     if (m_started && tk.owner == this->get_location_id() &&
-        tk.arrived == tk.n_inputs && !tk.queued) {
+        tk.arrived == tk.n_inputs && !tk.awaiting_payload && !tk.queued) {
+      tk.queued = true;
+      m_ready.push_back(ready_item{t, false, false, {}, P{}});
+    }
+  }
+
+  /// Requires m_mutex held.  Owner side of forward_payload: stores the
+  /// payload and enqueues the task if it was only waiting on it.
+  void accept_payload_locked(task_id t, P payload)
+  {
+    assert(t < m_tasks.size());
+    task& tk = m_tasks[t];
+    assert(tk.owner == this->get_location_id() &&
+           "payload forwarded to a non-owner");
+    tk.payload = std::move(payload);
+    tk.awaiting_payload = false;
+    if (m_started && tk.arrived == tk.n_inputs && !tk.queued) {
       tk.queued = true;
       m_ready.push_back(ready_item{t, false, false, {}, P{}});
     }
@@ -500,12 +589,16 @@ class task_graph : public p_object {
       for (auto& [t, slot, v] : m_early)
         deliver_locked(t, slot, std::move(v));
       m_early.clear();
+      for (auto& [t, p] : m_early_payloads)
+        accept_payload_locked(t, std::move(p));
+      m_early_payloads.clear();
       for (task_id t = 0; t < m_tasks.size(); ++t) {
         task& tk = m_tasks[t];
         if (tk.owner != this->get_location_id())
           continue;
         m_local_remaining += 1;
-        if (tk.arrived == tk.n_inputs && !tk.queued) {
+        if (tk.arrived == tk.n_inputs && !tk.awaiting_payload &&
+            !tk.queued) {
           tk.queued = true;
           m_ready.push_back(ready_item{t, false, false, {}, P{}});
         }
@@ -609,16 +702,25 @@ class task_graph : public p_object {
     }
     m_steal_inflight.store(true, std::memory_order_release);
     location_id victim;
+    std::uint64_t backlog = 0;
     {
       std::lock_guard lock(m_mutex);
       // Sticky pointer into the warmth-ordered victim list: a granting
       // victim keeps being probed (its backlog halves per grant); nacks
       // advance the pointer (handle_steal_nack).
       victim = m_victims[m_victim_idx % m_victims.size()];
+      // The probe carries this location's current ready-backlog weight
+      // (usually 0 — probes go out idle-handed — but value deliveries
+      // can refill the queue between run_one() and here): the victim
+      // caps its grant so we cannot hoard more than it keeps.
+      for (auto const& item : m_ready) {
+        std::uint64_t const w = m_tasks[item.id].opts.weight;
+        backlog += w == 0 ? 1 : w;
+      }
     }
     async_rmi<task_graph>(victim, this->get_handle(),
                           &task_graph::handle_steal_request,
-                          this->get_location_id());
+                          this->get_location_id(), backlog);
   }
 
   void send_quiesced()
@@ -634,6 +736,8 @@ class task_graph : public p_object {
   std::vector<task> m_tasks;
   /// Values that arrived before this replica's construction finished.
   std::vector<std::tuple<task_id, std::uint32_t, E>> m_early;
+  /// Forwarded payloads that outran this replica's construction.
+  std::vector<std::pair<task_id, P>> m_early_payloads;
   std::deque<ready_item> m_ready;
   std::vector<location_id> m_victims;  ///< steal order (warmth, then load)
   std::size_t m_victim_idx = 0;        ///< advances on nack (sticky on grant)
@@ -742,7 +846,7 @@ make_descriptors(std::vector<std::vector<G>> runs, std::size_t elem_bytes)
   for (auto& r : runs) {
     chunk_descriptor<G> d;
     d.bytes = static_cast<std::uint64_t>(r.size()) * elem_bytes;
-    d.gids = std::move(r);
+    d.gids.assign(std::move(r));
     d.owner = this_location();
     out.push_back(std::move(d));
   }
@@ -780,21 +884,76 @@ template <typename V>
   return std::max<std::size_t>(1, g);
 }
 
+/// Replicated task_options off a chunk's wire form — the only descriptor
+/// half peers ever see, so placement, victim ranking and the affinity
+/// feedback all read their digests from it.
+[[nodiscard]] inline task_options wire_options(chunk_wire const& w,
+                                               bool stealable)
+{
+  task_options o;
+  o.stealable = stealable;
+  o.cached_at = w.cached_at;
+  o.weight = w.bytes != 0 ? w.bytes : w.elements;
+  if (w.has_digest) {
+    o.digest_lo = w.digest_lo;
+    o.digest_hi = w.digest_hi;
+    o.has_digest = true;
+  }
+  return o;
+}
+
 /// Replicated task_options for one chunk descriptor.
 template <typename G>
 [[nodiscard]] task_options chunk_options(chunk_descriptor<G> const& d,
                                          bool stealable)
 {
-  task_options o;
-  o.stealable = stealable;
-  o.cached_at = d.cached_at;
-  o.weight = d.bytes != 0 ? d.bytes : d.size();
-  if (!d.empty()) {
-    o.digest_lo = d.digest_lo();
-    o.digest_hi = d.digest_hi();
-    o.has_digest = true;
-  }
-  return o;
+  return wire_options(d.wire(), stealable);
+}
+
+/// Spawns one chunk task off its replicated wire form — the one idiom
+/// every split spawn site shares.  `producer` is the location whose
+/// exchange slot the wire came from; `local` is this location's own
+/// descriptor array (indexed by `k`), consulted only when this location
+/// is the producer: it attaches the payload through add_task when it
+/// also owns the chunk, and forwards it point-to-point otherwise, with
+/// every replica marking the task payload-pending in that case so the
+/// owner holds it until the payload lands.
+template <typename TG, typename Work, typename G>
+typename TG::task_id
+spawn_chunk_task(TG& tg, chunk_wire const& w, location_id producer,
+                 std::size_t k, std::vector<chunk_descriptor<G>>& local,
+                 Work const& work, bool stealable)
+{
+  task_options opts = wire_options(w, stealable);
+  opts.payload_pending = w.owner != producer;
+  bool const mine = producer == this_location();
+  auto const id =
+      mine && w.owner == producer
+          ? tg.add_task(w.owner, work, std::move(local[k].gids), opts)
+          : tg.add_task(w.owner, work, {}, opts);
+  if (mine && w.owner != producer)
+    tg.forward_payload(id, std::move(local[k].gids));
+  return id;
+}
+
+/// The metadata-only spawn exchange: allgathers the wire forms of this
+/// location's descriptors — owner, cached-at, digest bounds, byte and
+/// element counts, never the GID runs — and counts what a network
+/// transport would have shipped to the P-1 peers into `bytes_out`.  The
+/// payloads stay behind in `local`, to be attached by add_task when this
+/// location owns the chunk or forwarded point-to-point when it does not.
+template <typename G>
+[[nodiscard]] std::vector<std::vector<chunk_wire>>
+exchange_wire_forms(std::vector<chunk_descriptor<G>> const& local,
+                    std::uint64_t& bytes_out)
+{
+  std::vector<chunk_wire> wires;
+  wires.reserve(local.size());
+  for (auto const& d : local)
+    wires.push_back(d.wire());
+  bytes_out = static_cast<std::uint64_t>(packed_size(wires)) *
+              (num_locations() - 1);
+  return allgather(wires);
 }
 
 /// Closes the feedback loops after a steal-mode graph: the executor's
@@ -825,16 +984,20 @@ template <typename V>
 }
 
 /// Builds and runs one chunk-task graph over `v`: `body(gid)` per element.
-/// When the chunks are stealable, the chunk *descriptors* are allgathered
-/// so every location replicates the full graph descriptor — task ids,
-/// owners, locality annotations — and each chunk task spawns on its
-/// descriptor's owner (which may differ from the location that produced
-/// it, e.g. a repartitioning view whose deal crosses the storage
-/// distribution); the owner attaches the GID run as the payload.  In the
-/// default non-stealable case no location ever references another
-/// location's tasks, so each builds only its own chunk tasks — no
-/// metadata exchange at all — and the executor's local-drain schedule
-/// plus trailing fence match the classic one-task-per-location map.
+/// When the chunks are stealable, only the chunk *wire forms* are
+/// allgathered — enough for every location to replicate the graph
+/// descriptor (task ids, owners, locality annotations) and spawn each
+/// chunk task on its descriptor's owner, which may differ from the
+/// location that produced it (a repartitioning view whose deal crosses
+/// the storage distribution).  The run-encoded GID payload never rides
+/// the allgather: a producer that owns its chunk attaches the payload
+/// through add_task, and a producer that does not forwards it
+/// point-to-point (forward_payload), with the owner holding the task
+/// until it lands.  In the default non-stealable case no location ever
+/// references another location's tasks, so each builds only its own
+/// chunk tasks — no metadata exchange at all — and the executor's
+/// local-drain schedule plus trailing fence match the classic
+/// one-task-per-location map.
 template <typename View, typename PerGid>
 void chunked_for_each_gid(View const& v, exec_policy pol, PerGid body)
 {
@@ -868,23 +1031,19 @@ void chunked_for_each_gid(View const& v, exec_policy pol, PerGid body)
     return;
   }
   auto work = [shared_body](std::vector<char> const&,
-                            std::vector<gid_type> const& gids) {
-    for (auto const& g : gids)
-      (*shared_body)(g);
+                            gid_sequence<gid_type> const& gids) {
+    gids.for_each([&](gid_type const& g) { (*shared_body)(g); });
     return char{};
   };
-  task_graph<char, std::vector<gid_type>> tg;
+  task_graph<char, gid_sequence<gid_type>> tg;
   tg.set_stealing(pol.steal);
-  auto all = allgather(view_chunks(v, grain));
-  for (location_id l = 0; l < num_locations(); ++l) {
-    for (auto& d : all[l]) {
-      task_options const opts = chunk_options(d, true);
-      if (d.owner == this_location())
-        tg.add_task(d.owner, work, std::move(d.gids), opts);
-      else
-        tg.add_task(d.owner, work, {}, opts);
-    }
-  }
+  auto local = view_chunks(v, grain);
+  std::uint64_t wire_bytes = 0;
+  auto all = exchange_wire_forms(local, wire_bytes);
+  tg.note_spawn_bytes(wire_bytes);
+  for (location_id l = 0; l < num_locations(); ++l)
+    for (std::size_t k = 0; k < all[l].size(); ++k)
+      spawn_chunk_task(tg, all[l][k], l, k, local, work, true);
   tg.execute();
   feed_back_execution(v, tg);
 }
@@ -1035,34 +1194,36 @@ template <typename View, typename Map, typename Reduce>
     return out.second ? std::optional<T>(out.first) : std::optional<T>{};
   }
 
-  // Stealable leaves: replicate the full chunk-descriptor set so every
-  // location can place each leaf on its descriptor's owner and annotate it
-  // for locality-aware stealing; only the owner keeps the GID payload.
-  auto all = allgather(tg_detail::view_chunks(v, grain));
+  // Stealable leaves: replicate only the wire forms — every location can
+  // place each leaf on its descriptor's owner and annotate it for
+  // locality-aware stealing off the metadata alone; GID payloads attach
+  // locally (producer == owner) or travel point-to-point
+  // (forward_payload) when a repartitioning deal separates the two.
+  auto local = tg_detail::view_chunks(v, grain);
+  std::uint64_t wire_bytes = 0;
+  auto all = tg_detail::exchange_wire_forms(local, wire_bytes);
   std::vector<std::size_t> counts;
   counts.reserve(all.size());
   std::size_t total = 0;
-  for (auto const& descs : all) {
-    counts.push_back(descs.size());
-    total += descs.size();
+  for (auto const& wires : all) {
+    counts.push_back(wires.size());
+    total += wires.size();
   }
   if (total == 0)
     return std::optional<T>{};
-  task_graph<EV, std::vector<gid_type>> tg;
+  task_graph<EV, gid_sequence<gid_type>> tg;
   tg.set_stealing(pol.steal);
+  tg.note_spawn_bytes(wire_bytes);
   auto leaf_work = [fold_one](std::vector<EV> const&,
-                              std::vector<gid_type> const& gs) mutable {
+                              gid_sequence<gid_type> const& gs) mutable {
     EV acc{T{}, false};
-    for (auto const& g : gs)
-      acc = fold_one(std::move(acc), g);
+    gs.for_each(
+        [&](gid_type const& g) { acc = fold_one(std::move(acc), g); });
     return acc;
   };
   auto leaf_for = [&](location_id l, std::size_t k) {
-    auto& d = all[l][k];
-    task_options const opts = tg_detail::chunk_options(d, true);
-    return d.owner == this_location()
-               ? tg.add_task(d.owner, leaf_work, std::move(d.gids), opts)
-               : tg.add_task(d.owner, leaf_work, {}, opts);
+    return tg_detail::spawn_chunk_task(tg, all[l][k], l, k, local,
+                                       leaf_work, true);
   };
   auto const sinks = wire(tg, counts, leaf_for);
   tg.execute();

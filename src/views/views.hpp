@@ -22,9 +22,11 @@
 // exactly the performance distinction Ch. III.A draws.
 //
 // Locality pipeline (runtime/locality.hpp): every chunk-producing view
-// coarsens its bView into chunk_descriptors — GID run + owning location +
-// cached-at hint + byte estimate — which the task-graph executor consumes
-// for placement and locality-aware stealing.  Container-backed views also
+// coarsens its bView into chunk_descriptors — a run-encoded GID payload
+// plus the wire-form metadata (owner, cached-at hint, digest bounds,
+// byte/element counts) — which the task-graph executor consumes for
+// placement and locality-aware stealing.  Only the wire form is ever
+// replicated between locations; payloads stay with their producer.  Container-backed views also
 // forward the feedback hooks: tuned_grain (the container's adaptive grain
 // hint), note_task_graph_stats (steal/idle counters tune that hint) and
 // note_chunk_placement / chunk_affinity (where chunks ran last graph,
@@ -54,7 +56,9 @@ concept has_local_ref = tg_detail::locality_bound_view<V>;
 /// Descriptor producer of container-backed views: wraps the ordered GID
 /// sequence into ~grain-element chunk_descriptors owned by this location
 /// and stamps each with the container's cached-at hint (the location that
-/// executed an overlapping chunk last graph, if any).
+/// executed an overlapping chunk last graph, if any).  The affinity
+/// lookup reads off the descriptor's wire form — the same digest bounds
+/// peers and the placement feedback see.
 template <typename C, typename G>
 [[nodiscard]] std::vector<chunk_descriptor<G>>
 container_chunks(C& c, std::vector<G> gids, std::size_t grain)
@@ -63,7 +67,7 @@ container_chunks(C& c, std::vector<G> gids, std::size_t grain)
       tg_detail::chunk_gids(std::move(gids), grain),
       sizeof(typename C::value_type));
   for (auto& d : out)
-    d.cached_at = c.chunk_affinity(d.digest_lo(), d.digest_hi());
+    d.cached_at = c.chunk_affinity(d.wire());
   return out;
 }
 

@@ -465,30 +465,36 @@ TEST_P(task_graph_test, ChunkTasksExactlyOnceUnderConcurrentMigration)
 
     // Chunk tasks increment every element through the routed apply path
     // (stealable: correct from any location) while migrator tasks scatter
-    // elements between locations mid-flight.  Chunks travel as replicated
-    // descriptors, like every chunked factory.
-    task_graph<char, std::vector<gid1d>> tg;
-    auto all = allgather(tg_detail::make_descriptors(
-        tg_detail::chunk_gids(pa.local_gids(), 16), sizeof(long)));
+    // elements between locations mid-flight.  Chunks travel the split
+    // spawn path like every chunked factory: wire forms allgathered,
+    // run-encoded payloads attached owner-locally — and, with every
+    // descriptor deliberately owned by the *next* location over, each
+    // payload must be forwarded producer→owner while the migration churn
+    // runs.
+    task_graph<char, gid_sequence<gid1d>> tg;
+    auto local = tg_detail::make_descriptors(
+        tg_detail::chunk_gids(pa.local_gids(), 16), sizeof(long));
+    std::size_t const my_chunks = local.size();
+    for (auto& d : local)
+      d.owner = (this_location() + 1) % num_locations();
+    std::uint64_t wire_bytes = 0;
+    auto all = tg_detail::exchange_wire_forms(local, wire_bytes);
+    tg.note_spawn_bytes(wire_bytes);
+    EXPECT_GT(wire_bytes, 0u);
     auto work = [&pa](std::vector<char> const&,
-                      std::vector<gid1d> const& gids) {
-      for (auto g : gids)
-        pa.apply_set(g, [](long& x) { x += 1; });
+                      gid_sequence<gid1d> const& gids) {
+      gids.for_each(
+          [&](gid1d g) { pa.apply_set(g, [](long& x) { x += 1; }); });
       return char{};
     };
     for (location_id l = 0; l < num_locations(); ++l)
-      for (auto& d : all[l]) {
-        task_options const opts = tg_detail::chunk_options(d, true);
-        if (d.owner == this_location())
-          tg.add_task(d.owner, work, std::move(d.gids), opts);
-        else
-          tg.add_task(d.owner, work, {}, opts);
-      }
+      for (std::size_t k = 0; k < all[l].size(); ++k)
+        tg_detail::spawn_chunk_task(tg, all[l][k], l, k, local, work, true);
     // One migrator task per location, interleaved with the increments:
     // each scatters a slice of the domain to the next location over.
     for (location_id l = 0; l < num_locations(); ++l)
       tg.add_task(l, [&pa, n](std::vector<char> const&,
-                              std::vector<gid1d> const&) {
+                              gid_sequence<gid1d> const&) {
         location_id const me = this_location();
         for (std::size_t g = me; g < n; g += 2 * num_locations())
           pa.migrate(g, (me + 1) % num_locations());
@@ -497,13 +503,196 @@ TEST_P(task_graph_test, ChunkTasksExactlyOnceUnderConcurrentMigration)
     tg.execute();
 
     // Exactly once: every element was incremented exactly one time, no
-    // matter where its chunk ran or where the element went.
+    // matter where its chunk ran, where its payload was forwarded from,
+    // or where the element went.
     for (std::size_t g = 0; g < n; ++g)
       EXPECT_EQ(pa.get_element(g), 1) << "gid " << g;
+
+    // Every chunk's payload crossed producer→owner exactly once.
+    auto const stats = tg.global_stats();
+    auto const total_chunks = allreduce(my_chunks, std::plus<>{});
+    EXPECT_EQ(stats.payload_forwards, total_chunks);
+    EXPECT_GT(stats.spawn_bytes, 0u);
 
     // And the traversal after the dust settles covers the domain exactly.
     auto const total = allreduce(pa.local_gids().size(), std::plus<>{});
     EXPECT_EQ(total, n);
+    rmi_fence();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Run-length GID serialization (the spawn path's payload encoding)
+// ---------------------------------------------------------------------------
+
+template <typename G>
+std::vector<G> round_trip(stapl::gid_sequence<G> const& s)
+{
+  return stapl::unpack<stapl::gid_sequence<G>>(stapl::pack(s)).to_vector();
+}
+
+TEST(gid_sequence, DenseRunCompressesAndRoundTrips)
+{
+  std::vector<gid1d> gids(1000);
+  std::iota(gids.begin(), gids.end(), 100);
+  gid_sequence<gid1d> s(gids);
+  EXPECT_TRUE(s.run_encoded());
+  ASSERT_EQ(s.runs().size(), 1u);
+  EXPECT_EQ(s.runs()[0], (gid_run{100, 1000}));
+  EXPECT_EQ(s.size(), 1000u);
+  EXPECT_EQ(s.front(), 100u);
+  EXPECT_EQ(s.back(), 1099u);
+  // O(runs) on the wire: far below the raw 8 bytes per element.
+  EXPECT_LT(packed_size(s), 1000 * sizeof(gid1d) / 4);
+  EXPECT_EQ(round_trip(s), gids);
+}
+
+TEST(gid_sequence, MultipleRunsPreserveOrder)
+{
+  std::vector<gid1d> const gids{0, 1, 2, 10, 11, 12, 13, 100};
+  gid_sequence<gid1d> s(gids);
+  EXPECT_TRUE(s.run_encoded());
+  EXPECT_EQ(s.runs().size(), 3u);
+  EXPECT_EQ(round_trip(s), gids);
+}
+
+TEST(gid_sequence, SparseSequenceFallsBackToRawVector)
+{
+  std::vector<gid1d> gids;
+  for (gid1d g = 0; g < 500; g += 2)
+    gids.push_back(g); // all runs are singletons: encoding cannot compress
+  gid_sequence<gid1d> s(gids);
+  EXPECT_FALSE(s.run_encoded());
+  EXPECT_EQ(s.size(), gids.size());
+  EXPECT_EQ(round_trip(s), gids);
+}
+
+TEST(gid_sequence, SingleElementAndEmptyRoundTrip)
+{
+  gid_sequence<gid1d> one(std::vector<gid1d>{42});
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_EQ(one.front(), 42u);
+  EXPECT_EQ(one.back(), 42u);
+  EXPECT_EQ(round_trip(one), std::vector<gid1d>{42});
+
+  gid_sequence<gid1d> empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_TRUE(round_trip(empty).empty());
+}
+
+TEST(gid_sequence, NonIntegralGidsUseRawFallback)
+{
+  std::vector<double> const gids{1.5, 2.5, 3.5, 10.0};
+  gid_sequence<double> s(gids);
+  EXPECT_FALSE(gid_sequence<double>::run_capable);
+  EXPECT_FALSE(s.run_encoded());
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(round_trip(s), gids);
+}
+
+// ---------------------------------------------------------------------------
+// Steal-grant hoarding guard (pure cap function; see handle_steal_request)
+// ---------------------------------------------------------------------------
+
+TEST(steal_grant_cap, CapsGrantByThiefBacklog)
+{
+  // Idle-handed thief: classic steal-half, down to a lone small task.
+  EXPECT_EQ(steal_grant_cap(10, 0), 5u);
+  EXPECT_EQ(steal_grant_cap(11, 0), 5u);
+  EXPECT_EQ(steal_grant_cap(1, 0), 1u);
+  // A loaded thief gets at most half the weight gap, so after the grant
+  // it still holds no more than the victim keeps.
+  EXPECT_EQ(steal_grant_cap(10, 4), 3u);
+  EXPECT_EQ(steal_grant_cap(100, 98), 1u);
+  // Backlog at or above the victim's stealable weight: nothing to grant —
+  // including the half==0 gap where an idle thief would get the floor.
+  EXPECT_EQ(steal_grant_cap(10, 10), 0u);
+  EXPECT_EQ(steal_grant_cap(10, 20), 0u);
+  EXPECT_EQ(steal_grant_cap(10, 9), 0u);
+  EXPECT_EQ(steal_grant_cap(0, 0), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Affinity-table splitting (partial overlaps keep their remainders)
+// ---------------------------------------------------------------------------
+
+TEST(chunk_affinity_table, SplitsEntriesOnPartialOverlap)
+{
+  chunk_affinity_table t(8);
+  t.note(0, 100, 1);
+  // A sharper observation inside the old range owns exactly [40, 60];
+  // the stale whole-range hint survives only outside it.
+  t.note(40, 60, 2);
+  EXPECT_EQ(t.lookup(0, 10), 1u);
+  EXPECT_EQ(t.lookup(45, 55), 2u);
+  EXPECT_EQ(t.lookup(70, 100), 1u);
+  EXPECT_EQ(t.size(), 3u);
+
+  // One-sided overlap trims the edge instead of dropping the entry.
+  t.note(90, 120, 3);
+  EXPECT_EQ(t.lookup(95, 110), 3u);
+  EXPECT_EQ(t.lookup(70, 80), 1u);
+  EXPECT_EQ(t.lookup(200, 210), invalid_location);
+
+  // Exact re-observation replaces in place (no remainder fragments).
+  std::size_t const before = t.size();
+  t.note(40, 60, 0);
+  EXPECT_EQ(t.lookup(45, 55), 0u);
+  EXPECT_EQ(t.size(), before);
+}
+
+TEST(chunk_affinity_table, SplittingRespectsCapacityBound)
+{
+  chunk_affinity_table t(4);
+  t.note(0, 1000, 1);
+  // Each inner observation splits the survivor into more fragments; the
+  // FIFO bound must still hold.
+  for (std::uint64_t k = 0; k < 10; ++k)
+    t.note(10 + 50 * k, 30 + 50 * k, static_cast<location_id>(k % 3));
+  EXPECT_LE(t.size(), 4u);
+  // The most recent observation always survives the eviction.
+  EXPECT_EQ(t.lookup(10 + 50 * 9, 30 + 50 * 9), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Metadata-only spawn exchange
+// ---------------------------------------------------------------------------
+
+TEST_P(task_graph_test, StealableSpawnShipsWireFormNotGids)
+{
+  execute(config_for(GetParam(), 4), [] {
+    std::size_t const n = 512 * num_locations();
+    p_array<long> pa(n, 0);
+    array_1d_view v(pa);
+    exec_policy pol;
+    pol.grain = 64;
+    pol.stealable = true;
+
+    // What PR 4's full-descriptor allgather would have shipped to the
+    // P-1 peers: raw GID vectors plus the metadata.
+    std::uint64_t full = 0;
+    for (auto const& d : v.chunks(pol.grain))
+      full += packed_size(d.gids.to_vector()) + packed_size(d.wire());
+    full *= num_locations() - 1;
+
+    p_for_each(v, [](long& x) { x += 1; }, pol);
+    EXPECT_EQ(p_accumulate(v, 0L), static_cast<long>(n));
+
+    // feed_back_execution accumulated the executor's counters into the
+    // container: the spawn path moved bytes, far fewer than the full
+    // descriptors — dense integral chunks ride the >= 5x acceptance bar
+    // with room to spare.
+    auto const spawn = allreduce(pa.epoch_task_stats().spawn_bytes,
+                                 std::plus<std::uint64_t>{});
+    auto const full_total = allreduce(full, std::plus<std::uint64_t>{});
+    EXPECT_GT(spawn, 0u);
+    EXPECT_LT(spawn * 5, full_total)
+        << "wire-form exchange is not at least 5x smaller";
+    // Aligned array chunks are produced by their owners: no payload ever
+    // needed forwarding.
+    EXPECT_EQ(allreduce(pa.epoch_task_stats().payload_forwards,
+                        std::plus<std::uint64_t>{}),
+              0u);
     rmi_fence();
   });
 }

@@ -298,6 +298,17 @@ TEST_P(ViewAlgoTest, ChunkDescriptorsCoverLocalDomain)
       EXPECT_EQ(d.cached_at, invalid_location) << "cold view claims warmth";
       EXPECT_EQ(d.bytes, d.size() * sizeof(long));
       EXPECT_LE(d.digest_lo(), d.digest_hi());
+      // Contiguous local runs of an integral GID space run-encode.
+      EXPECT_TRUE(d.gids.run_encoded());
+      // The wire form mirrors the descriptor's metadata, payload-free.
+      auto const w = d.wire();
+      EXPECT_EQ(w.owner, d.owner);
+      EXPECT_EQ(w.cached_at, d.cached_at);
+      EXPECT_EQ(w.bytes, d.bytes);
+      EXPECT_EQ(w.elements, d.size());
+      EXPECT_TRUE(w.has_digest);
+      EXPECT_EQ(w.digest_lo, d.digest_lo());
+      EXPECT_EQ(w.digest_hi, d.digest_hi());
       total += d.size();
     }
     EXPECT_EQ(total, pa.local_size());

@@ -24,8 +24,8 @@ from pathlib import Path
 REGRESSION_PCT = 10.0
 
 LOWER_IS_BETTER_SUFFIXES = ("_s",)
-LOWER_IS_BETTER_NAMES = {"seconds"}
-HIGHER_IS_BETTER_NAMES = {"recovery", "speedup", "mops"}
+LOWER_IS_BETTER_NAMES = {"seconds", "wire_bytes", "spawn_bytes"}
+HIGHER_IS_BETTER_NAMES = {"recovery", "speedup", "mops", "reduction"}
 
 
 def column_direction(name):
