@@ -57,7 +57,7 @@ int main(int argc, char** argv)
       };
       kernel(); // warmup
       rmi_fence();
-      reset_my_stats();
+      metrics::reset_all(); // every stats family, not just location_stats
       double const tt = bench::timed_kernel(kernel);
       auto const m = allreduce(my_stats().msgs_sent, std::plus<>{});
       if (this_location() == 0) {

@@ -104,6 +104,23 @@ inline void json_flush_table()
   j.row.clear();
 }
 
+/// Serializes the process-wide metrics accumulator (every counter family
+/// the runtime folded at the end of each execute()) as one JSON object, so
+/// comm volume and steal behaviour are regression-tracked next to the
+/// timing tables.
+[[nodiscard]] inline std::string json_metrics()
+{
+  std::string out = "{";
+  bool first = true;
+  for (auto const& [k, v] : stapl::metrics::process_totals()) {
+    if (!first)
+      out += ", ";
+    first = false;
+    out += json_quote(k) + ": " + std::to_string(v);
+  }
+  return out + "}";
+}
+
 inline void json_write_file()
 {
   auto& j = jstate();
@@ -118,8 +135,9 @@ inline void json_write_file()
   }
   std::fprintf(f,
                "{\n  \"bench\": %s,\n  \"scale\": %zu,\n  \"tables\": [\n%s\n"
-               "  ]\n}\n",
-               json_quote(j.name).c_str(), scale(), j.tables.c_str());
+               "  ],\n  \"metrics\": %s\n}\n",
+               json_quote(j.name).c_str(), scale(), j.tables.c_str(),
+               json_metrics().c_str());
   std::fclose(f);
   std::printf("# wrote %s\n", path.c_str());
 }

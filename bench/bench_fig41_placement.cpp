@@ -42,7 +42,7 @@ int main(int argc, char** argv)
         };
         kernel(); // warmup: allocator arenas, buffers
         rmi_fence();
-        reset_my_stats();
+        metrics::reset_all(); // every stats family, not just location_stats
         double const tt = bench::timed_kernel(kernel);
         auto const total_msgs =
             allreduce(my_stats().msgs_sent, std::plus<>{});

@@ -29,6 +29,9 @@
 //      must be forwarded producer→owner.
 //
 // Run with --json to also write BENCH_taskgraph.json.
+// Run with --trace <path> to additionally record one traced P=4 Zipf steal
+// run and export it as Chrome trace-event JSON (Perfetto-loadable), one
+// lane per location.
 
 #include "bench_common.hpp"
 #include "algorithms/p_algorithms.hpp"
@@ -41,6 +44,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
@@ -165,11 +169,14 @@ int main(int argc, char** argv)
   bench::init(argc, argv);
   bool locality_mode = false;
   bool spawn_mode = false;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--locality")
       locality_mode = true;
     if (std::string_view(argv[i]) == "--spawn")
       spawn_mode = true;
+    if (std::string_view(argv[i]) == "--trace" && i + 1 < argc)
+      trace_path = argv[++i];
   }
   std::printf("# Task-graph executor — work stealing on imbalanced "
               "(Zipf-sized) chunks\n");
@@ -361,6 +368,30 @@ int main(int argc, char** argv)
       bench::cell(sp.load());
       bench::endrow();
     }
+  }
+
+  if (!trace_path.empty()) {
+    // One traced P=4 Zipf steal run: the probe→grant→run chains, fence and
+    // task_run scopes land in per-location Perfetto lanes.  A smaller
+    // workload than the timing tables — the trace is for inspection, not
+    // measurement.
+    trace::enable();
+    execute(4, [&] {
+      auto const sizes = zipf_sizes(chunks, 200 * bench::scale());
+      std::vector<location_id> owner(chunks);
+      std::size_t const per = chunks / num_locations();
+      for (std::size_t r = 0; r < chunks; ++r)
+        owner[r] = static_cast<location_id>(
+            std::min<std::size_t>(r / per, num_locations() - 1));
+      (void)run_chunks(sizes, owner, true);
+    });
+    bool const ok = trace::dump(trace_path);
+    std::printf("# %s %s (%llu events, %llu dropped)\n",
+                ok ? "wrote" : "FAILED to write", trace_path.c_str(),
+                static_cast<unsigned long long>(trace::total_events()),
+                static_cast<unsigned long long>(trace::total_dropped()));
+    trace::disable();
+    trace::clear();
   }
   return 0;
 }

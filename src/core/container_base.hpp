@@ -265,6 +265,7 @@ class p_container_base : public p_object {
                            // enable_load_balancing(), not at an arbitrary
                            // phase of the app's iteration count
     m_lb_epoch += 1;
+    STAPL_TRACE(trace::event_kind::epoch_advance, m_lb_epoch);
     if (m_lb_countdown == 0 || --m_lb_countdown != 0)
       return std::nullopt;
     auto const rep = rebalance();

@@ -149,7 +149,31 @@ class directory : public p_object {
   /// the argument (not this_location()) to find its container.
   using work_item = std::function<void(location_id)>;
 
-  directory() = default;
+  directory()
+      : m_metrics_id(metrics::register_contributor(
+            [this](metrics::counter_map& m) {
+              directory_stats const s = stats();
+              m["dir.local_hits"] += s.local_hits;
+              m["dir.cache_hits"] += s.cache_hits;
+              m["dir.home_routed"] += s.home_routed;
+              m["dir.cold_lookups"] += s.cold_lookups;
+              m["dir.forwards"] += s.forwards;
+              m["dir.stale_bounces"] += s.stale_bounces;
+              m["dir.invalidations"] += s.invalidations;
+              m["dir.retries"] += s.retries;
+              m["dir.migrations_in"] += s.migrations_in;
+              m["dir.migrations_out"] += s.migrations_out;
+              m["dir.owner_accesses"] += s.owner_accesses;
+              m["dir.hints_reclaimed"] += s.hints_reclaimed;
+            },
+            [this] {
+              std::lock_guard lock(m_mutex);
+              m_stats = {};
+              m_owner_accesses.store(0, std::memory_order_relaxed);
+            }))
+  {}
+
+  ~directory() override { metrics::unregister_contributor(m_metrics_id); }
 
   /// Installs the fallback owner function consulted by the home for GIDs
   /// without a record (e.g. the closed-form partition+mapper owner of a
@@ -456,6 +480,8 @@ class directory : public p_object {
     m_owned.erase(g);
     m_away[g] = dest;
     m_stats.migrations_out += 1;
+    STAPL_TRACE(trace::event_kind::migration,
+                static_cast<std::uint64_t>(Hash{}(g)));
     auto const it = m_owned_seq.find(g);
     if (it == m_owned_seq.end())
       return 0;
@@ -477,6 +503,8 @@ class directory : public p_object {
       m_away.erase(g);
       m_cache.erase(g);
       m_stats.migrations_in += 1;
+      STAPL_TRACE(trace::event_kind::migration,
+                  static_cast<std::uint64_t>(Hash{}(g)));
     }
     update_home_record(g, seq);
   }
@@ -1003,6 +1031,7 @@ class directory : public p_object {
   std::atomic<std::uint64_t> m_owner_accesses{0};
   unsigned m_sample_every = 1;
   space_saving_tracker<GID, Hash> m_hot;
+  metrics::contributor_id m_metrics_id = 0;
 
   /// Mixed (splitmix64-style) 1-in-`every` sampling decision for access n.
   [[nodiscard]] static bool sampled(std::uint64_t n, unsigned every) noexcept

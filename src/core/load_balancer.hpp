@@ -279,6 +279,9 @@ rebalance_report rebalance(C& c, load_balancer_config const& cfg)
   assert(c.is_dynamic() && "rebalance() requires directory-backed resolution");
   auto& dir = c.get_directory();
 
+  trace::trace_scope wave_scope(trace::event_kind::rebalance_wave);
+  metrics::add("lb.waves", 1);
+
   // Quiesce: in-flight accesses execute (and are counted) before measuring.
   rmi_fence();
 
@@ -339,6 +342,10 @@ rebalance_report rebalance(C& c, load_balancer_config const& cfg)
   rep.moves = plan.size();
   for (auto const& mv : plan)
     rep.bytes_moved += mv.bytes;
+  wave_scope.set_arg(rep.moves);
+  metrics::add("lb.triggered", 1);
+  metrics::add("lb.moves", rep.moves);
+  metrics::add("lb.bytes_moved", rep.bytes_moved);
   {
     std::vector<double> projected(loads.begin(), loads.end());
     for (auto const& mv : plan) {

@@ -13,6 +13,7 @@ void rmi_fence()
   using namespace runtime_detail;
   auto& impl = rt();
   rt().loc(tl_location).stats.fences += 1;
+  trace::trace_scope fence_scope(trace::event_kind::fence);
 
   // Distributed termination detection: drain, synchronize, and re-check
   // until a round completes with globally balanced sent/executed counters.
@@ -55,6 +56,30 @@ void execute(runtime_config const& cfg, std::function<void()> spmd)
 
   auto body = [&](location_id id) {
     tl_location = id;
+    trace::attach(id);
+    // The runtime itself is the first metrics contributor on every
+    // location: the RTS communication counters plus the idle-time counters
+    // fed by wait_backoff and the executor naps.
+    auto const runtime_contributor = metrics::register_contributor(
+        [id](metrics::counter_map& m) {
+          location_stats const& s = rt().loc(id).stats;
+          m["rmi.rmis_sent"] += s.rmis_sent;
+          m["rmi.rmis_executed"] += s.rmis_executed;
+          m["rmi.local_rmis"] += s.local_rmis;
+          m["rmi.msgs_sent"] += s.msgs_sent;
+          m["rmi.sync_rmis"] += s.sync_rmis;
+          m["rmi.fences"] += s.fences;
+          m["rmi.rmi_bytes"] += s.rmi_bytes;
+          m["rmi.msg_bytes"] += s.msg_bytes;
+          metrics::idle_counters const& i = metrics::idle();
+          m["idle.spins"] += i.spins;
+          m["idle.sleeps"] += i.sleeps;
+          m["idle.nap_us"] += i.nap_us;
+        },
+        [id] {
+          rt().loc(id).stats = {};
+          metrics::idle() = {};
+        });
     try {
       spmd();
     } catch (...) {
@@ -72,6 +97,11 @@ void execute(runtime_config const& cfg, std::function<void()> spmd)
       if (!first_error)
         first_error = std::current_exception();
     }
+    // Preserve this execution's counters for the process-wide accumulator
+    // (what bench_common embeds in its JSON) before the thread dies.
+    metrics::fold_into_process(metrics::snapshot());
+    metrics::unregister_contributor(runtime_contributor);
+    trace::detach();
     tl_location = invalid_location;
   };
 

@@ -21,6 +21,8 @@
 // (distributed termination detection), and sync/split-phase acknowledgment
 // semantics follow Ch. VII.B.
 
+#include "instrument.hpp"
+#include "serialization.hpp"
 #include "types.hpp"
 
 #include <atomic>
@@ -60,6 +62,8 @@ struct location_stats {
   std::uint64_t msgs_sent = 0;      ///< aggregated network messages sent
   std::uint64_t sync_rmis = 0;      ///< synchronous round trips
   std::uint64_t fences = 0;         ///< rmi_fence invocations
+  std::uint64_t rmi_bytes = 0;      ///< marshaled payload bytes of sent RMIs
+  std::uint64_t msg_bytes = 0;      ///< payload bytes of flushed messages
 
   location_stats& operator+=(location_stats const& o) noexcept
   {
@@ -69,6 +73,8 @@ struct location_stats {
     msgs_sent += o.msgs_sent;
     sync_rmis += o.sync_rmis;
     fences += o.fences;
+    rmi_bytes += o.rmi_bytes;
+    msg_bytes += o.msg_bytes;
     return *this;
   }
 };
@@ -89,10 +95,14 @@ class wait_backoff {
  public:
   void pause() noexcept
   {
+    auto& idle = metrics::idle();
     if (m_spins++ < 64) {
+      idle.spins += 1;
       std::this_thread::yield();
       return;
     }
+    idle.sleeps += 1;
+    idle.nap_us += 50;
     std::this_thread::sleep_for(std::chrono::microseconds(50));
   }
   void reset() noexcept { m_spins = 0; }
@@ -220,6 +230,8 @@ struct location_state {
   std::uint32_t next_local_counter = 0;
   /// outgoing aggregation buffers, one per destination
   std::vector<std::vector<request>> agg;
+  /// marshaled payload bytes pending in each aggregation buffer
+  std::vector<std::uint64_t> agg_bytes;
   location_stats stats;
   /// scratch slot for collective operations (value exchange protocol)
   void const* slot = nullptr;
@@ -232,8 +244,10 @@ class runtime_impl {
   {
     for (auto& l : m_locs)
       l = std::make_unique<location_state>();
-    for (auto& l : m_locs)
+    for (auto& l : m_locs) {
       l->agg.resize(cfg.num_locations);
+      l->agg_bytes.resize(cfg.num_locations, 0);
+    }
   }
 
   [[nodiscard]] runtime_config const& config() const noexcept { return m_cfg; }
@@ -301,12 +315,15 @@ void execute(unsigned p, std::function<void()> spmd);
   return runtime_detail::rt().config().transport;
 }
 
-/// Statistics of the calling location.
+/// Statistics of the calling location.  Compatibility shim: the same
+/// counters surface through `metrics::snapshot()` under the "rmi." keys.
 [[nodiscard]] inline location_stats const& my_stats() noexcept
 {
   return runtime_detail::rt().loc(this_location()).stats;
 }
 
+/// Resets only the runtime family; `metrics::reset_all()` resets every
+/// registered stats family in one call.
 inline void reset_my_stats() noexcept
 {
   runtime_detail::rt().loc(this_location()).stats = {};
@@ -327,6 +344,9 @@ inline void flush_aggregation()
     if (buf.empty())
       continue;
     self.stats.msgs_sent += 1;
+    self.stats.msg_bytes += self.agg_bytes[d];
+    self.agg_bytes[d] = 0;
+    STAPL_TRACE(trace::event_kind::msg_flush, buf.size());
     rt().loc(d).in.push_batch(std::move(buf));
     buf.clear();
   }
@@ -353,6 +373,7 @@ inline bool poll_once()
       if (r()) {
         progressed = true;
         self.stats.rmis_executed += 1;
+        STAPL_TRACE(trace::event_kind::rmi_execute);
         rt().total_executed.fetch_add(1, std::memory_order_acq_rel);
       } else {
         still.push_back(std::move(r));
@@ -366,6 +387,7 @@ inline bool poll_once()
     if (r()) {
       progressed = true;
       self.stats.rmis_executed += 1;
+      STAPL_TRACE(trace::event_kind::rmi_execute);
       rt().total_executed.fetch_add(1, std::memory_order_acq_rel);
     } else {
       self.deferred.push_back(std::move(r));
@@ -374,15 +396,40 @@ inline bool poll_once()
   return progressed;
 }
 
-inline void enqueue_remote(location_id dest, request r)
+/// Marshaled size of one RMI argument: `packed_size` when the typer knows
+/// the type, its object size otherwise (e.g. closures the queue transport
+/// hands over by value rather than by wire).
+template <typename T>
+[[nodiscard]] inline std::size_t wire_size_of(T const& t)
+{
+  if constexpr (wire_measurable_v<T>)
+    return packed_size(t);
+  else
+    return sizeof(T);
+}
+
+/// Wire footprint of an RMI: handle word plus every marshaled argument.
+template <typename... Ts>
+[[nodiscard]] inline std::size_t wire_size(Ts const&... ts)
+{
+  return (sizeof(rmi_handle) + ... + wire_size_of(ts));
+}
+
+inline void enqueue_remote(location_id dest, request r, std::size_t bytes = 0)
 {
   auto& self = rt().loc(tl_location);
   self.stats.rmis_sent += 1;
+  self.stats.rmi_bytes += bytes;
+  self.agg_bytes[dest] += bytes;
+  STAPL_TRACE(trace::event_kind::rmi_send, bytes);
   rt().total_sent.fetch_add(1, std::memory_order_acq_rel);
   auto& buf = self.agg[dest];
   buf.push_back(std::move(r));
   if (buf.size() >= rt().config().aggregation) {
     self.stats.msgs_sent += 1;
+    self.stats.msg_bytes += self.agg_bytes[dest];
+    self.agg_bytes[dest] = 0;
+    STAPL_TRACE(trace::event_kind::msg_flush, buf.size());
     rt().loc(dest).in.push_batch(std::move(buf));
     buf.clear();
   }
@@ -628,6 +675,7 @@ template <typename Obj, typename F, typename... Args>
 void queued_rmi(location_id dest, rmi_handle h, F f, Args... args)
 {
   using namespace runtime_detail;
+  std::size_t const bytes = wire_size(f, args...);
   enqueue_remote(dest,
                  [dest, h, f = std::move(f),
                   tup = std::make_tuple(std::move(args)...)]() mutable -> bool {
@@ -636,7 +684,8 @@ void queued_rmi(location_id dest, rmi_handle h, F f, Args... args)
                      return false;
                    apply_on(*static_cast<Obj*>(p), f, tup);
                    return true;
-                 });
+                 },
+                 bytes);
 }
 
 /// Asynchronous RMI: executes `f(obj_at(dest), args...)` on the destination
@@ -658,6 +707,9 @@ void async_rmi(location_id dest, rmi_handle h, F f, Args... args)
   if (current_transport() == transport_kind::direct) {
     auto& self = rt().loc(this_location());
     self.stats.rmis_sent += 1;
+    std::size_t const bytes = wire_size(f, args...);
+    self.stats.rmi_bytes += bytes;
+    STAPL_TRACE(trace::event_kind::rmi_send, bytes);
     Obj* o = lookup_wait<Obj>(dest, h);
     std::invoke(f, *o, std::move(args)...);
     return;
@@ -685,6 +737,9 @@ template <typename Obj, typename F, typename... Args>
     auto& self = rt().loc(this_location());
     self.stats.rmis_sent += 1;
     self.stats.sync_rmis += 1;
+    std::size_t const bytes = wire_size(f, args...);
+    self.stats.rmi_bytes += bytes;
+    STAPL_TRACE(trace::event_kind::rmi_send, bytes);
     Obj* o = lookup_wait<Obj>(dest, h);
     return std::invoke(f, *o, std::move(args)...);
   }
@@ -695,6 +750,7 @@ template <typename Obj, typename F, typename... Args>
   } st;
 
   rt().loc(this_location()).stats.sync_rmis += 1;
+  std::size_t const bytes = wire_size(f, args...);
   enqueue_remote(dest,
                  [dest, h, &st, f = std::move(f),
                   tup = std::make_tuple(std::move(args)...)]() mutable -> bool {
@@ -704,7 +760,8 @@ template <typename Obj, typename F, typename... Args>
                    st.value.emplace(apply_on(*static_cast<Obj*>(p), f, tup));
                    st.done.store(true, std::memory_order_release);
                    return true;
-                 });
+                 },
+                 bytes);
   runtime_detail::flush_aggregation();
   runtime_detail::wait_backoff bo;
   while (!st.done.load(std::memory_order_acquire)) {
@@ -739,12 +796,16 @@ template <typename Obj, typename F, typename... Args>
   if (current_transport() == transport_kind::direct) {
     auto& self = rt().loc(this_location());
     self.stats.rmis_sent += 1;
+    std::size_t const bytes = wire_size(f, args...);
+    self.stats.rmi_bytes += bytes;
+    STAPL_TRACE(trace::event_kind::rmi_send, bytes);
     Obj* o = lookup_wait<Obj>(dest, h);
     st->value.emplace(std::invoke(f, *o, std::move(args)...));
     st->ready.store(true, std::memory_order_release);
     return pc_future<R>(st);
   }
 
+  std::size_t const bytes = wire_size(f, args...);
   enqueue_remote(dest,
                  [dest, h, st, f = std::move(f),
                   tup = std::make_tuple(std::move(args)...)]() mutable -> bool {
@@ -754,7 +815,8 @@ template <typename Obj, typename F, typename... Args>
                    st->value.emplace(apply_on(*static_cast<Obj*>(p), f, tup));
                    st->ready.store(true, std::memory_order_release);
                    return true;
-                 });
+                 },
+                 bytes);
   return pc_future<R>(st);
 }
 
@@ -834,6 +896,24 @@ template <typename T>
   });
   return result;
 }
+
+namespace metrics {
+
+/// Collective: the union of every location's `snapshot()`, counters summed
+/// by name.  Must be called by all locations (it reduces over the exchange
+/// protocol).  This is the one map that surfaces all stats families —
+/// runtime, task-graph, directory, load-balancer, idle time — plus the
+/// byte counters.
+[[nodiscard]] inline counter_map global_snapshot()
+{
+  return allreduce(snapshot(), [](counter_map a, counter_map const& b) {
+    for (auto const& [k, v] : b)
+      a[k] += v;
+    return a;
+  });
+}
+
+} // namespace metrics
 
 } // namespace stapl
 

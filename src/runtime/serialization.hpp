@@ -196,6 +196,50 @@ class typer {
   std::size_t m_cursor = 0;
 };
 
+namespace detail {
+
+/// Deep compile-time test of "the typer can marshal T": unlike probing
+/// `typer::member(t)` (which accepts any std::vector shallowly and then
+/// fails inside), this recurses into the element types of the supported
+/// containers, so callers can fall back to sizeof for unmarshalable
+/// payloads (e.g. closures) without a hard error.
+template <typename T>
+struct is_wire_measurable
+    : std::bool_constant<trivially_packable<T> || has_define_type<T>> {};
+
+template <>
+struct is_wire_measurable<std::string> : std::true_type {};
+
+template <typename A, typename B>
+struct is_wire_measurable<std::pair<A, B>>
+    : std::bool_constant<is_wire_measurable<A>::value &&
+                         is_wire_measurable<B>::value> {};
+
+template <typename T, typename A>
+struct is_wire_measurable<std::vector<T, A>> : is_wire_measurable<T> {};
+
+template <typename T, typename A>
+struct is_wire_measurable<std::list<T, A>> : is_wire_measurable<T> {};
+
+template <typename T, typename A>
+struct is_wire_measurable<std::deque<T, A>> : is_wire_measurable<T> {};
+
+template <typename K, typename V, typename C, typename A>
+struct is_wire_measurable<std::map<K, V, C, A>>
+    : std::bool_constant<is_wire_measurable<K>::value &&
+                         is_wire_measurable<V>::value> {};
+
+template <typename K, typename V, typename H, typename E, typename A>
+struct is_wire_measurable<std::unordered_map<K, V, H, E, A>>
+    : std::bool_constant<is_wire_measurable<K>::value &&
+                         is_wire_measurable<V>::value> {};
+
+} // namespace detail
+
+/// True when `packed_size`/`pack` can marshal a T.
+template <typename T>
+inline constexpr bool wire_measurable_v = detail::is_wire_measurable<T>::value;
+
 /// Number of bytes `pack` would produce for `t`.
 template <typename T>
 [[nodiscard]] std::size_t packed_size(T const& t)

@@ -127,6 +127,27 @@ class task_graph : public p_object {
   /// granted copy on a thief).
   using work_fn = std::function<E(std::vector<E> const&, P const&)>;
 
+  task_graph()
+      : m_metrics_id(metrics::register_contributor(
+            [this](metrics::counter_map& m) {
+              std::lock_guard lock(m_mutex);
+              m["tg.tasks_run"] += m_stats.tasks_run;
+              m["tg.tasks_stolen"] += m_stats.tasks_stolen;
+              m["tg.tasks_lost"] += m_stats.tasks_lost;
+              m["tg.steal_grants"] += m_stats.steal_grants;
+              m["tg.steal_fail"] += m_stats.steal_fail;
+              m["tg.values_sent"] += m_stats.values_sent;
+              m["tg.spawn_bytes"] += m_stats.spawn_bytes;
+              m["tg.payload_forwards"] += m_stats.payload_forwards;
+            },
+            [this] {
+              std::lock_guard lock(m_mutex);
+              m_stats = {};
+            }))
+  {}
+
+  ~task_graph() override { metrics::unregister_contributor(m_metrics_id); }
+
   /// Adds a task owned by `owner`.  `payload` matters on the owner only.
   task_id add_task(location_id owner, work_fn work, P payload = P{},
                    task_options opts = {})
@@ -161,7 +182,9 @@ class task_graph : public p_object {
       assert(!m_started && "payloads are forwarded at spawn time");
       owner = m_tasks[t].owner;
       m_stats.payload_forwards += 1;
-      m_stats.spawn_bytes += packed_size(payload);
+      std::size_t const bytes = packed_size(payload);
+      m_stats.spawn_bytes += bytes;
+      STAPL_TRACE(trace::event_kind::payload_forward, bytes);
     }
     assert(owner != this->get_location_id() &&
            "a local owner takes its payload through add_task");
@@ -282,6 +305,7 @@ class task_graph : public p_object {
  private:
   void execute_impl(bool with_fence)
   {
+    trace::trace_scope phase_scope(trace::event_kind::tg_execute);
     seed();
     runtime_detail::wait_backoff bo;
     if (!m_steal_mode) {
@@ -319,6 +343,8 @@ class task_graph : public p_object {
         // CPU time (it services probes between chunks).  Napping outright
         // beats the backoff's yield phase, which on an oversubscribed
         // host burns the very cycles the victim's wakeup is waiting for.
+        metrics::idle().sleeps += 1;
+        metrics::idle().nap_us += 50;
         std::this_thread::sleep_for(std::chrono::microseconds(50));
         continue;
       }
@@ -332,6 +358,8 @@ class task_graph : public p_object {
         // dependence chain is finishing elsewhere).  Sleep a poll
         // interval instead of lock-churning — stragglers land in the
         // inbox and are picked up at the next wake.
+        metrics::idle().sleeps += 1;
+        metrics::idle().nap_us += 200;
         std::this_thread::sleep_for(std::chrono::microseconds(200));
         continue;
       }
@@ -395,6 +423,16 @@ class task_graph : public p_object {
     task_id id = 0;
     std::vector<E> inputs;
     P payload{};
+
+    /// Marshalable whenever the edge-value and payload types are, so the
+    /// byte counters price a steal grant at its real wire footprint.
+    void define_type(typer& t)
+      requires(wire_measurable_v<E> && wire_measurable_v<P>)
+    {
+      t.member(id);
+      t.member(inputs);
+      t.member(payload);
+    }
   };
 
   /// At a victim: `thief` wants work, carrying the weight of its own
@@ -472,6 +510,7 @@ class task_graph : public p_object {
   /// At the thief: granted tasks (each with its inputs and payload).
   void handle_steal_grant(std::vector<stolen_task> grants)
   {
+    STAPL_TRACE(trace::event_kind::steal_grant, grants.size());
     {
       std::lock_guard lock(m_mutex);
       m_stats.tasks_stolen += grants.size();
@@ -489,6 +528,7 @@ class task_graph : public p_object {
   /// victim in warmth order (a granting victim keeps being probed).
   void handle_steal_nack()
   {
+    STAPL_TRACE(trace::event_kind::steal_nack);
     {
       std::lock_guard lock(m_mutex);
       m_stats.steal_fail += 1;
@@ -650,7 +690,10 @@ class task_graph : public p_object {
     // The task vector is frozen during execution (add_task asserts), so the
     // record reference stays valid across the unlocked work invocation.
     task const& tk = m_tasks[item.id];
-    E result = tk.work(item.inputs, item.payload);
+    E result = [&] {
+      trace::trace_scope run_scope(trace::event_kind::task_run, item.id);
+      return tk.work(item.inputs, item.payload);
+    }();
 
     for (auto const& [succ, slot] : tk.succ_slots) {
       location_id const so = m_tasks[succ].owner;
@@ -718,6 +761,7 @@ class task_graph : public p_object {
         backlog += w == 0 ? 1 : w;
       }
     }
+    STAPL_TRACE(trace::event_kind::steal_probe, victim);
     async_rmi<task_graph>(victim, this->get_handle(),
                           &task_graph::handle_steal_request,
                           this->get_location_id(), backlog);
@@ -751,6 +795,7 @@ class task_graph : public p_object {
   std::atomic<bool> m_done{false};
   std::atomic<unsigned> m_quiesced{0};  ///< location 0 only
   task_graph_stats m_stats;
+  metrics::contributor_id m_metrics_id;
 };
 
 // ---------------------------------------------------------------------------

@@ -71,7 +71,7 @@ TEST_P(PListTest, PushAnywhereIsLocalAndBalanced)
 {
   execute(GetParam(), [] {
     p_list<int> pl;
-    reset_my_stats();
+    metrics::reset_all(); // resets location_stats and the pList's directory
     for (int i = 0; i < 50; ++i)
       pl.push_anywhere_async(i);
     // Anywhere-insertion must not communicate.

@@ -23,13 +23,21 @@ from pathlib import Path
 
 REGRESSION_PCT = 10.0
 
-LOWER_IS_BETTER_SUFFIXES = ("_s",)
-LOWER_IS_BETTER_NAMES = {"seconds", "wire_bytes", "spawn_bytes"}
+LOWER_IS_BETTER_SUFFIXES = ("_s", "_bytes")
+LOWER_IS_BETTER_NAMES = {
+    "seconds", "wire_bytes", "spawn_bytes", "rmi_bytes", "msg_bytes",
+    "bytes_moved", "steal_fail", "nap_us",
+}
 HIGHER_IS_BETTER_NAMES = {"recovery", "speedup", "mops", "reduction"}
 
 
 def column_direction(name):
-    """-1 = lower is better, +1 = higher is better, 0 = don't judge."""
+    """-1 = lower is better, +1 = higher is better, 0 = don't judge.
+
+    Also applied to the embedded metrics-registry keys ("rmi.rmi_bytes",
+    "tg.steal_fail", ...): the family prefix is stripped first.
+    """
+    name = name.rsplit(".", 1)[-1]
     if name in LOWER_IS_BETTER_NAMES or name.endswith(LOWER_IS_BETTER_SUFFIXES):
         return -1
     if name in HIGHER_IS_BETTER_NAMES:
@@ -68,6 +76,44 @@ def fmt_delta(prev, cur):
     pct = 100.0 * (cur - prev) / abs(prev)
     arrow = "+" if pct >= 0 else ""
     return f"{arrow}{pct:.1f}%"
+
+
+def diff_metrics(name, prev_bench, cur_bench):
+    """Diffs the embedded metrics-registry snapshot of one bench.
+
+    Returns the markdown lines (empty when either side lacks metrics).
+    Counter keys with an unambiguous direction (bytes, steal_fail, nap_us
+    lower-better) emit the same non-blocking ::warning as table columns.
+    """
+    pmet, cmet = prev_bench.get("metrics"), cur_bench.get("metrics")
+    if not isinstance(pmet, dict) or not isinstance(cmet, dict):
+        return []
+    lines = []
+    for key in sorted(set(pmet) & set(cmet)):
+        old, new = pmet[key], cmet[key]
+        delta = fmt_delta(old, new)
+        if delta is None:
+            continue
+        direction = column_direction(key)
+        if (
+            direction != 0
+            and isinstance(old, (int, float))
+            and isinstance(new, (int, float))
+            and old != 0
+        ):
+            pct = 100.0 * (new - old) / abs(old)
+            if pct * direction < -REGRESSION_PCT:
+                warn_regression(name.removeprefix("BENCH_"), "metrics", key,
+                                key, pct)
+        lines.append(f"| {key} | {old} | {new} | {delta} |")
+    if not lines:
+        return []
+    bench = name.removeprefix("BENCH_")
+    return (
+        [f"<details><summary><b>{bench}</b> — metrics registry</summary>", "",
+         "| counter | previous | current | delta |", "|---|---|---|---|"]
+        + lines + ["", "</details>", ""]
+    )
 
 
 def main():
@@ -127,6 +173,10 @@ def main():
             print("|" + "---|" * len(cols))
             print("\n".join(lines))
             print("\n</details>\n")
+            printed += 1
+        metric_lines = diff_metrics(name, prev[name], cur[name])
+        if metric_lines:
+            print("\n".join(metric_lines))
             printed += 1
     if printed == 0:
         print("_No comparable tables found._")
