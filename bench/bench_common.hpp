@@ -51,6 +51,8 @@ struct json_state {
   std::vector<std::vector<std::string>> rows;  ///< values as JSON literals
   std::vector<std::string> row;                ///< row under construction
   std::string tables;                          ///< serialized finished tables
+  std::vector<std::pair<std::string, std::string>>
+      extra;                                   ///< extra top-level sections
 };
 
 [[nodiscard]] inline json_state& jstate()
@@ -133,16 +135,37 @@ inline void json_write_file()
     std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
     return;
   }
+  std::string extra;
+  for (auto const& [k, v] : j.extra)
+    extra += ",\n  " + json_quote(k) + ": " + v;
   std::fprintf(f,
                "{\n  \"bench\": %s,\n  \"scale\": %zu,\n  \"tables\": [\n%s\n"
-               "  ],\n  \"metrics\": %s\n}\n",
+               "  ],\n  \"metrics\": %s%s\n}\n",
                json_quote(j.name).c_str(), scale(), j.tables.c_str(),
-               json_metrics().c_str());
+               json_metrics().c_str(), extra.c_str());
   std::fclose(f);
   std::printf("# wrote %s\n", path.c_str());
 }
 
 } // namespace detail
+
+/// Attaches an extra top-level section to the `--json` output file: `value`
+/// must already be serialized JSON (object/array/literal).  Lets a bench
+/// emit structured data beyond the row/column tables — e.g. the scaling
+/// harness's "sweeps" array.  Replaces any previous value for `key`;
+/// a no-op without --json.
+inline void set_extra_json(std::string const& key, std::string value)
+{
+  auto& j = detail::jstate();
+  if (!j.enabled)
+    return;
+  for (auto& [k, v] : j.extra)
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  j.extra.emplace_back(key, std::move(value));
+}
 
 /// Parses bench CLI flags (currently `--json`).  `name` defaults to the
 /// binary's basename with a leading "bench_" stripped.  The JSON file is

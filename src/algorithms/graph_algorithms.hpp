@@ -228,6 +228,118 @@ void page_rank(G& g, std::size_t iterations, double damping = 0.85)
   }
 }
 
+/// Vertex property for push-based (incremental) PageRank: `rank` is the
+/// settled mass, `residual` the not-yet-propagated mass.  The fixed point
+/// is the same as the synchronous `page_rank` one.
+struct dynamic_pagerank_property {
+  double rank = 0.0;
+  double residual = 0.0;
+  void define_type(typer& t)
+  {
+    t.member(rank);
+    t.member(residual);
+  }
+};
+
+/// Seeds a push-based PageRank from scratch: rank 0 everywhere, teleport
+/// mass (1-d)/n as residual.  Draining all residuals (page_rank_incremental
+/// with every vertex dirty) then converges to the PageRank fixed point.
+/// Collective.
+template <typename G>
+void page_rank_push_init(G& g, double damping = 0.85)
+{
+  std::size_t const n = g.get_num_vertices();
+  if (n == 0)
+    return;
+  double const r0 = (1.0 - damping) / static_cast<double>(n);
+  g.for_each_local_vertex([r0](vertex_descriptor, auto& rec) {
+    rec.property.rank = 0.0;
+    rec.property.residual = r0;
+  });
+  rmi_fence();
+}
+
+namespace graph_algo_detail {
+
+/// What one drain visit brings back to the driver: the damped per-edge
+/// share and the adjacency snapshot to scatter it along.
+struct drain_result {
+  double share = 0.0;
+  std::vector<vertex_descriptor> targets;
+};
+
+} // namespace graph_algo_detail
+
+/// Incremental (push-based) PageRank over whatever residual mass is
+/// pending — the streaming-graph recompute kernel.  Each location passes
+/// the vertices it dirtied (e.g. churned endpoints after seeding their
+/// `residual`); rounds then chase the residual frontier until it drains
+/// below `epsilon` or `max_rounds` is hit.  Collective; returns the global
+/// number of drain visits performed (the incremental work, vs. n*iters for
+/// the synchronous `page_rank`).
+///
+/// Locking discipline (Ch. VI): a visit handler runs under the element's
+/// data lock when the transport is direct, so handlers never nest a second
+/// routed call.  The drain therefore settles the residual *and* snapshots
+/// the adjacency in one `apply_vertex_get`, the driver scatters from
+/// outside the lock, and target handlers only bump `residual` and push
+/// into the frontier p_object (the BFS pattern).
+template <typename G>
+std::size_t page_rank_incremental(G& g,
+                                  std::vector<vertex_descriptor> const& dirty,
+                                  std::size_t max_rounds,
+                                  double damping = 0.85,
+                                  double epsilon = 1e-9)
+{
+  using graph_algo_detail::drain_result;
+  using graph_algo_detail::frontier_buffer;
+  frontier_buffer frontier;
+  rmi_handle const fh = frontier.get_handle();
+
+  frontier.next = dirty;
+  rmi_fence();
+
+  std::size_t drains = 0;
+  for (std::size_t round = 0;
+       round < max_rounds && allreduce(frontier.next.size(), std::plus<>{});
+       ++round) {
+    std::vector<vertex_descriptor> current;
+    current.swap(frontier.next);
+    std::sort(current.begin(), current.end());
+    current.erase(std::unique(current.begin(), current.end()), current.end());
+    for (auto v : current) {
+      auto const d = g.apply_vertex_get(v, [damping, epsilon](auto& rec) {
+        drain_result out;
+        double const r = rec.property.residual;
+        if (r <= epsilon)
+          return out;  // already drained via another location's frontier
+        rec.property.rank += r;
+        rec.property.residual = 0.0;
+        if (rec.edges.empty())
+          return out;
+        out.share = damping * r / static_cast<double>(rec.edges.size());
+        out.targets.reserve(rec.edges.size());
+        for (auto const& e : rec.edges)
+          out.targets.push_back(e.target);
+        return out;
+      });
+      if (d.share == 0.0)
+        continue;
+      ++drains;
+      for (auto t : d.targets)
+        g.apply_vertex(t, [t, fh, share = d.share, epsilon](auto& trec) {
+          bool const was_active = trec.property.residual > epsilon;
+          trec.property.residual += share;
+          if (!was_active && trec.property.residual > epsilon)
+            get_registered_object<frontier_buffer>(fh)->next.push_back(t);
+        });
+    }
+    rmi_fence();
+  }
+  rmi_fence();
+  return allreduce(drains, std::plus<>{});
+}
+
 /// Sum of all ranks (sanity: should stay ~1.0).  Collective.
 template <typename G>
 double total_rank(G& g)

@@ -621,6 +621,25 @@ class p_graph final
     return ok ? edge_descriptor{src, tgt} : edge_descriptor{};
   }
 
+  /// Atomically rewires one out-edge (delete src→old_tgt, insert
+  /// src→new_tgt) in a single routed visit at the vertex's owner — the
+  /// edge-churn primitive of streaming-graph scenarios: one visit instead
+  /// of a delete_edge + add_edge_async pair, and the two mutations are
+  /// covered by the same element lock so no observer sees the vertex with
+  /// both (or neither) edge.  Directed graphs only: an undirected rewire
+  /// would need a second routed visit for the reverse edges.
+  void rewire_edge_async(gid_type src, gid_type old_tgt, gid_type new_tgt,
+                         EP ep = EP{})
+  {
+    static_assert(is_directed,
+                  "rewire_edge_async is a directed-graph primitive");
+    this->invoke(MP_ADD_EDGE, src,
+                 [src, old_tgt, new_tgt, ep](p_graph& g, bcid_type b) {
+                   (void)g.bc(b).delete_edge(src, old_tgt);
+                   (void)g.bc(b).add_edge(src, new_tgt, ep, is_multi);
+                 });
+  }
+
   void delete_edge(gid_type src, gid_type tgt)
   {
     this->invoke(MP_DELETE_EDGE, src, [src, tgt](p_graph& g, bcid_type b) {

@@ -23,18 +23,47 @@ namespace {
 /// One location's event storage.  A location is a thread, so each ring has
 /// exactly one writer; `size` is released by the writer and acquired by
 /// readers (dump/tests run after a fence or after execute() joined).
+/// In keep-first mode `size` counts stored events (capped at capacity);
+/// in keep-last (circular) mode it counts *all* events ever emitted —
+/// slot `size % capacity` is the next write position and the stored
+/// window is the trailing `min(size, capacity)` events.
 struct ring {
-  ring(location_id l, std::size_t cap) : loc(l), buf(cap) {}
+  ring(location_id l, std::size_t cap, bool kl)
+      : loc(l), keep_last(kl), buf(cap)
+  {}
 
   location_id loc;
+  bool keep_last;
   std::vector<event> buf;
   std::atomic<std::size_t> size{0};
   std::atomic<std::uint64_t> drops{0};
+
+  [[nodiscard]] std::size_t stored() const
+  {
+    return std::min(size.load(std::memory_order_acquire), buf.size());
+  }
+
+  /// Events currently held, oldest first (callers hold g_ring_mutex and
+  /// run after the writer quiesced).
+  [[nodiscard]] std::vector<event> ordered() const
+  {
+    std::size_t const n = size.load(std::memory_order_acquire);
+    if (!keep_last || n <= buf.size())
+      return {buf.begin(),
+              buf.begin() + static_cast<std::ptrdiff_t>(std::min(n, buf.size()))};
+    std::vector<event> out;
+    out.reserve(buf.size());
+    std::size_t const start = n % buf.size();
+    for (std::size_t i = 0; i != buf.size(); ++i)
+      out.push_back(buf[(start + i) % buf.size()]);
+    return out;
+  }
 };
 
 std::mutex g_ring_mutex;                      // guards the registry only
 std::vector<std::unique_ptr<ring>> g_rings;   // one per traced location
 std::size_t g_capacity = std::size_t{1} << 16;
+bool g_keep_last = false;
 std::chrono::steady_clock::time_point g_epoch{};
 
 thread_local ring* tl_ring = nullptr;
@@ -70,10 +99,11 @@ char const* name_of(event_kind k) noexcept
   return "unknown";
 }
 
-void enable(std::size_t capacity_per_location)
+void enable(std::size_t capacity_per_location, bool keep_last)
 {
   std::lock_guard lock(g_ring_mutex);
   g_capacity = std::max<std::size_t>(1, capacity_per_location);
+  g_keep_last = keep_last;
   g_epoch = std::chrono::steady_clock::now();
   instrument_detail::g_trace_enabled.store(true, std::memory_order_release);
 }
@@ -98,7 +128,7 @@ void attach(location_id id)
   std::lock_guard lock(g_ring_mutex);
   ring* r = find_ring(id);
   if (r == nullptr) {
-    g_rings.push_back(std::make_unique<ring>(id, g_capacity));
+    g_rings.push_back(std::make_unique<ring>(id, g_capacity, g_keep_last));
     r = g_rings.back().get();
   }
   tl_ring = r;
@@ -125,6 +155,13 @@ void record(event const& e) noexcept
   if (r == nullptr || !enabled())
     return;
   std::size_t const n = r->size.load(std::memory_order_relaxed);
+  if (r->keep_last) {
+    r->buf[n % r->buf.size()] = e;
+    if (n >= r->buf.size())
+      r->drops.fetch_add(1, std::memory_order_relaxed);
+    r->size.store(n + 1, std::memory_order_release);
+    return;
+  }
   if (n >= r->buf.size()) {
     r->drops.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -167,10 +204,7 @@ std::vector<event> events(location_id loc)
 {
   std::lock_guard lock(g_ring_mutex);
   ring const* r = find_ring(loc);
-  if (r == nullptr)
-    return {};
-  std::size_t const n = r->size.load(std::memory_order_acquire);
-  return {r->buf.begin(), r->buf.begin() + static_cast<std::ptrdiff_t>(n)};
+  return r == nullptr ? std::vector<event>{} : r->ordered();
 }
 
 std::uint64_t total_events()
@@ -178,7 +212,7 @@ std::uint64_t total_events()
   std::lock_guard lock(g_ring_mutex);
   std::uint64_t n = 0;
   for (auto const& r : g_rings)
-    n += r->size.load(std::memory_order_acquire);
+    n += r->stored();
   return n;
 }
 
@@ -225,9 +259,7 @@ bool dump(std::string const& path)
   }
 
   for (auto const& r : g_rings) {
-    std::size_t const n = r->size.load(std::memory_order_acquire);
-    for (std::size_t i = 0; i != n; ++i) {
-      event const& e = r->buf[i];
+    for (event const& e : r->ordered()) {
       sep();
       out << R"({"name":")" << name_of(e.kind) << R"(","pid":1,"tid":)"
           << e.loc << R"(,"ts":)" << e.ts_us;

@@ -103,7 +103,15 @@ extern std::atomic<bool> g_trace_enabled;
 /// Turns tracing on.  Rings are created lazily at `attach` with
 /// `capacity_per_location` slots each; call outside (or between) SPMD
 /// executions so every location attaches with tracing visible.
-void enable(std::size_t capacity_per_location = std::size_t{1} << 16);
+///
+/// Overflow policy: with `keep_last == false` (default) a full ring keeps
+/// the *first* `capacity` events and drops the tail; with `keep_last ==
+/// true` the ring is circular — new events overwrite the oldest, so long
+/// steady-state runs (serving loops, scaling sweeps) retain the most
+/// recent window instead of the warm-up.  Drop counts are exact in both
+/// modes: a keep-last overwrite counts the displaced event as dropped.
+void enable(std::size_t capacity_per_location = std::size_t{1} << 16,
+            bool keep_last = false);
 
 /// Turns tracing off.  Recorded events remain readable until `clear()`.
 void disable();
@@ -134,7 +142,10 @@ void emit_complete(event_kind k, std::uint64_t ts_us, std::uint64_t dur_us,
 /// Locations that have recorded (or attached) rings, ascending.
 [[nodiscard]] std::vector<location_id> traced_locations();
 
-/// Copy of the events recorded by `loc`, in emission order.
+/// Copy of the events currently held by `loc`'s ring, oldest first.  In
+/// keep-first mode these are the first `capacity` events; in keep-last
+/// mode the most recent `capacity` (overwritten events are gone and
+/// counted in `dropped`).
 [[nodiscard]] std::vector<event> events(location_id loc);
 
 /// Total events recorded across all rings.

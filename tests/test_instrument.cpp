@@ -333,6 +333,42 @@ TEST(InstrumentTest, RingOverflowReportsExactDropCount)
     EXPECT_EQ(evs[i].arg, i);
 }
 
+TEST(InstrumentTest, KeepLastRingRetainsTrailingWindowWithExactDrops)
+{
+  trace_guard guard;
+  trace::enable(8, /*keep_last=*/true);
+  trace::attach(0);
+  for (std::uint64_t i = 0; i < 20; ++i)
+    trace::emit(trace::event_kind::rmi_send, i);
+  trace::detach();
+
+  // Circular mode keeps the *last* capacity events, oldest first; every
+  // overwritten event counts as a drop — still exact.
+  EXPECT_EQ(trace::events(0).size(), 8u);
+  EXPECT_EQ(trace::total_events(), 8u);
+  EXPECT_EQ(trace::dropped(0), 12u);
+  EXPECT_EQ(trace::total_dropped(), 12u);
+  auto const evs = trace::events(0);
+  for (std::size_t i = 0; i < evs.size(); ++i)
+    EXPECT_EQ(evs[i].arg, 12 + i);
+}
+
+TEST(InstrumentTest, KeepLastRingBelowCapacityDropsNothing)
+{
+  trace_guard guard;
+  trace::enable(8, /*keep_last=*/true);
+  trace::attach(0);
+  for (std::uint64_t i = 0; i < 5; ++i)
+    trace::emit(trace::event_kind::rmi_send, i);
+  trace::detach();
+
+  EXPECT_EQ(trace::events(0).size(), 5u);
+  EXPECT_EQ(trace::dropped(0), 0u);
+  auto const evs = trace::events(0);
+  for (std::size_t i = 0; i < evs.size(); ++i)
+    EXPECT_EQ(evs[i].arg, i);
+}
+
 // ---------------------------------------------------------------------------
 // Exporter output round-trips through a JSON parser
 // ---------------------------------------------------------------------------

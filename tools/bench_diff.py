@@ -3,6 +3,7 @@
 output) and emit a GitHub-flavored markdown summary of per-bench deltas.
 
 Usage: bench_diff.py PREV_DIR CUR_DIR
+       bench_diff.py --render CUR_DIR
 
 For every bench present in both directories, every table row is matched by
 its first cell (the row key, e.g. the location count) and each numeric
@@ -10,11 +11,21 @@ column's relative change is reported.  Informational only — the caller
 treats the output as a job-summary annotation, never as a gate.
 
 Columns whose direction is unambiguous (``*_s``/``seconds`` are
-lower-is-better; recovery/speedup/mops are higher-is-better) additionally
-emit a GitHub ``::warning`` workflow command on stderr when they regress
-by more than REGRESSION_PCT — stdout stays pure markdown so the caller can
-keep redirecting it into the job summary, while the runner picks the
-annotations out of the log.  Still non-blocking: warnings only, exit 0.
+lower-is-better; recovery/speedup/mops/efficiency are higher-is-better)
+additionally emit a GitHub ``::warning`` workflow command on stderr when
+they regress by more than REGRESSION_PCT — stdout stays pure markdown so
+the caller can keep redirecting it into the job summary, while the runner
+picks the annotations out of the log.  Still non-blocking: warnings only,
+exit 0.
+
+Benches carrying a scaling sweep (a top-level ``"sweeps"`` array, see
+bench/scaling_harness.hpp) get curve-aware treatment: points are matched
+by their full axes tuple (kernel/mode/transport/steal/grain/p/n), each
+kernel renders a per-series scaling table (efficiency across P, seconds
+delta vs previous), and a series whose efficiency at the largest common P
+regressed by more than REGRESSION_PCT emits the same non-blocking
+``::warning``.  ``--render CUR_DIR`` renders the curve tables of a single
+run without a baseline (the scheduled scaling-full job summary).
 """
 
 import json
@@ -28,7 +39,10 @@ LOWER_IS_BETTER_NAMES = {
     "seconds", "wire_bytes", "spawn_bytes", "rmi_bytes", "msg_bytes",
     "bytes_moved", "steal_fail", "nap_us",
 }
-HIGHER_IS_BETTER_NAMES = {"recovery", "speedup", "mops", "reduction"}
+HIGHER_IS_BETTER_NAMES = {"recovery", "speedup", "mops", "reduction",
+                          "efficiency"}
+
+SWEEP_AXES = ("kernel", "mode", "transport", "steal", "grain", "p", "n")
 
 
 def column_direction(name):
@@ -116,11 +130,129 @@ def diff_metrics(name, prev_bench, cur_bench):
     )
 
 
-def main():
-    if len(sys.argv) != 3:
+def sweep_points(bench):
+    """The bench's "sweeps" array (scaling_harness output), or []."""
+    sweeps = bench.get("sweeps") if isinstance(bench, dict) else None
+    return [p for p in sweeps if isinstance(p, dict)] \
+        if isinstance(sweeps, list) else []
+
+
+def point_key(pt):
+    """Full-axes identity of a sweep point — the curve-matching key."""
+    return tuple(pt.get(a) for a in SWEEP_AXES)
+
+
+def series_key(pt):
+    """Everything but P and N: one scaling curve."""
+    return tuple(pt.get(a) for a in SWEEP_AXES[:5])
+
+
+def series_label(key):
+    _, mode, transport, steal, grain = key
+    steal_s = "steal" if steal else "nosteal"
+    return f"{mode}/{transport}/{steal_s}/g:{grain}"
+
+
+def warn_efficiency_regressions(bench, kernel, skey, spts, ps, prev_pts):
+    """Warns when a series' efficiency at the largest common P dropped by
+    more than REGRESSION_PCT (the curve-level regression signal)."""
+    for p in reversed(ps):
+        pt = spts.get(p)
+        old = prev_pts.get(point_key(pt)) if pt is not None else None
+        if old is None:
+            continue
+        pe, ce = old.get("efficiency"), pt.get("efficiency")
+        if isinstance(pe, (int, float)) and isinstance(ce, (int, float)) \
+                and pe > 0:
+            pct = 100.0 * (ce - pe) / pe
+            if pct < -REGRESSION_PCT:
+                warn_regression(bench, f"{kernel} curve",
+                                f"{series_label(skey)} p={p}", "efficiency",
+                                pct)
+        return  # only the largest P present on both sides
+
+
+def render_curves(name, cur_bench, prev_bench=None, warn=True):
+    """Markdown curve tables for one bench's sweeps: per kernel, one row
+    pair per series — current efficiency across P, and (with a baseline)
+    the seconds delta against the axes-matched previous point."""
+    pts = sweep_points(cur_bench)
+    if not pts:
+        return []
+    prev_pts = {point_key(p): p
+                for p in sweep_points(prev_bench if prev_bench else {})}
+    bench = name.removeprefix("BENCH_")
+    by_kernel = {}
+    for pt in pts:
+        by_kernel.setdefault(str(pt.get("kernel")), []).append(pt)
+
+    lines = []
+    for kernel in sorted(by_kernel):
+        kpts = by_kernel[kernel]
+        series = {}
+        for pt in kpts:
+            series.setdefault(series_key(pt), []).append(pt)
+        ps = sorted({pt.get("p") for pt in kpts
+                     if isinstance(pt.get("p"), int)})
+        if not ps:
+            continue
+        rows = []
+        for skey in sorted(series, key=str):
+            spts = {pt.get("p"): pt for pt in series[skey]}
+            eff_cells, dt_cells = [], []
+            for p in ps:
+                pt = spts.get(p)
+                if pt is None:
+                    eff_cells.append("–")
+                    dt_cells.append("–")
+                    continue
+                eff = pt.get("efficiency")
+                eff_cells.append(f"{eff:.2f}"
+                                 if isinstance(eff, (int, float)) else "–")
+                old = prev_pts.get(point_key(pt))
+                delta = fmt_delta(old.get("seconds"), pt.get("seconds")) \
+                    if old is not None else None
+                dt_cells.append(delta if delta is not None else "–")
+            label = series_label(skey)
+            rows.append("| " + " | ".join([label, "efficiency"] + eff_cells)
+                        + " |")
+            if prev_pts:
+                rows.append("| " + " | ".join([label, "Δseconds"] + dt_cells)
+                            + " |")
+                if warn:
+                    warn_efficiency_regressions(bench, kernel, skey, spts,
+                                                ps, prev_pts)
+        if not rows:
+            continue
+        cols = ["series", "metric"] + [f"p={p}" for p in ps]
+        lines += [f"<details><summary><b>{bench}</b> — {kernel} scaling "
+                  f"curves</summary>", "",
+                  "| " + " | ".join(cols) + " |",
+                  "|" + "---|" * len(cols)]
+        lines += rows
+        lines += ["", "</details>", ""]
+    return lines
+
+
+def main(argv=None):
+    argv = sys.argv if argv is None else argv
+    if len(argv) == 3 and argv[1] == "--render":
+        benches = load_benches(argv[2])
+        print("### Scaling curves")
+        print()
+        printed = 0
+        for name in sorted(benches):
+            lines = render_curves(name, benches[name], None, warn=False)
+            if lines:
+                print("\n".join(lines))
+                printed += 1
+        if printed == 0:
+            print("_No sweep data found._")
+        return 0
+    if len(argv) != 3:
         print(__doc__)
         return 1
-    prev, cur = load_benches(sys.argv[1]), load_benches(sys.argv[2])
+    prev, cur = load_benches(argv[1]), load_benches(argv[2])
     common = sorted(set(prev) & set(cur))
     if not common:
         print("_No previous bench artifacts to diff against._")
@@ -177,6 +309,10 @@ def main():
         metric_lines = diff_metrics(name, prev[name], cur[name])
         if metric_lines:
             print("\n".join(metric_lines))
+            printed += 1
+        curve_lines = render_curves(name, cur[name], prev[name])
+        if curve_lines:
+            print("\n".join(curve_lines))
             printed += 1
     if printed == 0:
         print("_No comparable tables found._")

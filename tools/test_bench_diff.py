@@ -1,0 +1,270 @@
+#!/usr/bin/env python3
+"""Tests for bench_diff.py — pytest-collectible, but with no pytest
+dependency: ``python3 tools/test_bench_diff.py`` runs the same tests
+standalone (the container image may lack pytest; CI's tools-test job uses
+it when present).
+
+Fixtures are built in-memory and written to temp dirs: classic row/column
+tables (direction-aware warnings, missing bench / mismatched columns),
+embedded metrics, and scaling sweeps (axes matching, the
+efficiency-at-largest-P regression warning, --render mode).
+"""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_diff
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+def run_main(argv):
+    """Runs bench_diff.main with captured stdout/stderr."""
+    out, err = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        rc = bench_diff.main(["bench_diff.py"] + argv)
+    return rc, out.getvalue(), err.getvalue()
+
+
+def write_bench(d, name, data):
+    Path(d, f"BENCH_{name}.json").write_text(json.dumps(data))
+
+
+def table_bench(seconds, mops=1.0, columns=("locations", "run_s", "mops")):
+    return {
+        "bench": "t",
+        "scale": 1,
+        "tables": [{
+            "title": "timings",
+            "columns": list(columns),
+            "rows": [[1, seconds, mops]],
+        }],
+        "metrics": {"rmi.rmi_bytes": 1000},
+    }
+
+
+def sweep_point(kernel="for_each", mode="strong", transport="queue",
+                steal=True, grain="auto", p=1, n=1000, seconds=1.0,
+                efficiency=1.0):
+    return {
+        "kernel": kernel, "mode": mode, "transport": transport,
+        "steal": steal, "grain": grain, "p": p, "n": n,
+        "seconds": seconds, "efficiency": efficiency,
+        "metrics": {"rmi.rmis_sent": 10},
+    }
+
+
+def sweep_bench(points):
+    return {"bench": "scaling", "scale": 1, "tables": [], "metrics": {},
+            "sweeps": points}
+
+
+# ---------------------------------------------------------------------------
+# Classic table diffing
+# ---------------------------------------------------------------------------
+
+def test_lower_is_better_regression_warns():
+    with tempfile.TemporaryDirectory() as prev, \
+            tempfile.TemporaryDirectory() as cur:
+        write_bench(prev, "t", table_bench(seconds=1.0))
+        write_bench(cur, "t", table_bench(seconds=1.5))  # +50% run_s
+        rc, out, err = run_main([prev, cur])
+        assert rc == 0
+        assert "::warning" in err and "run_s" in err
+        assert "+50.0%" in out
+
+
+def test_higher_is_better_regression_warns():
+    with tempfile.TemporaryDirectory() as prev, \
+            tempfile.TemporaryDirectory() as cur:
+        write_bench(prev, "t", table_bench(seconds=1.0, mops=10.0))
+        write_bench(cur, "t", table_bench(seconds=1.0, mops=5.0))
+        rc, out, err = run_main([prev, cur])
+        assert rc == 0
+        assert "::warning" in err and "mops" in err
+
+
+def test_improvement_does_not_warn():
+    with tempfile.TemporaryDirectory() as prev, \
+            tempfile.TemporaryDirectory() as cur:
+        write_bench(prev, "t", table_bench(seconds=1.5, mops=5.0))
+        write_bench(cur, "t", table_bench(seconds=1.0, mops=10.0))
+        rc, out, err = run_main([prev, cur])
+        assert rc == 0
+        assert "::warning" not in err
+
+
+def test_missing_bench_yields_no_diff():
+    with tempfile.TemporaryDirectory() as prev, \
+            tempfile.TemporaryDirectory() as cur:
+        write_bench(prev, "a", table_bench(seconds=1.0))
+        write_bench(cur, "b", table_bench(seconds=1.0))
+        rc, out, err = run_main([prev, cur])
+        assert rc == 0
+        assert "No previous bench artifacts" in out
+        assert "::warning" not in err
+
+
+def test_mismatched_columns_skipped():
+    with tempfile.TemporaryDirectory() as prev, \
+            tempfile.TemporaryDirectory() as cur:
+        write_bench(prev, "t", table_bench(seconds=1.0))
+        changed = table_bench(seconds=9.0,
+                              columns=("locations", "other_s", "mops"))
+        write_bench(cur, "t", changed)
+        rc, out, err = run_main([prev, cur])
+        assert rc == 0
+        # Tables are incomparable; only the metrics block is rendered.
+        assert "timings" not in out
+        assert "::warning" not in err
+
+
+def test_malformed_json_skipped():
+    with tempfile.TemporaryDirectory() as prev, \
+            tempfile.TemporaryDirectory() as cur:
+        Path(prev, "BENCH_t.json").write_text("{not json")
+        write_bench(cur, "t", table_bench(seconds=1.0))
+        rc, out, err = run_main([prev, cur])
+        assert rc == 0
+
+
+def test_metrics_direction_warning():
+    with tempfile.TemporaryDirectory() as prev, \
+            tempfile.TemporaryDirectory() as cur:
+        a, b = table_bench(seconds=1.0), table_bench(seconds=1.0)
+        a["metrics"] = {"rmi.rmi_bytes": 1000}
+        b["metrics"] = {"rmi.rmi_bytes": 2000}  # bytes doubled
+        write_bench(prev, "t", a)
+        write_bench(cur, "t", b)
+        rc, out, err = run_main([prev, cur])
+        assert rc == 0
+        assert "::warning" in err and "rmi.rmi_bytes" in err
+
+
+# ---------------------------------------------------------------------------
+# Curve-aware sweep diffing
+# ---------------------------------------------------------------------------
+
+def curve_fixture(eff_p4_cur):
+    """prev/cur sweep pair: one for_each series over P=1,2,4; the current
+    efficiency at the largest P is the knob."""
+    prev = sweep_bench([
+        sweep_point(p=1, seconds=1.0, efficiency=1.0),
+        sweep_point(p=2, seconds=0.55, efficiency=0.91),
+        sweep_point(p=4, seconds=0.30, efficiency=0.83),
+    ])
+    cur = sweep_bench([
+        sweep_point(p=1, seconds=1.0, efficiency=1.0),
+        sweep_point(p=2, seconds=0.55, efficiency=0.91),
+        sweep_point(p=4, seconds=1.0 / (4 * eff_p4_cur),
+                    efficiency=eff_p4_cur),
+    ])
+    return prev, cur
+
+
+def test_curve_matching_by_axes():
+    """Points match on the full axes tuple; an axes change unmatches."""
+    prev_b, cur_b = curve_fixture(eff_p4_cur=0.80)
+    # Give the current P=2 point a different n: no previous match.
+    cur_b["sweeps"][1]["n"] = 2222
+    with tempfile.TemporaryDirectory() as prev, \
+            tempfile.TemporaryDirectory() as cur:
+        write_bench(prev, "scaling", prev_b)
+        write_bench(cur, "scaling", cur_b)
+        rc, out, err = run_main([prev, cur])
+        assert rc == 0
+        assert "for_each scaling curves" in out
+        assert "Δseconds" in out
+        row = next(line for line in out.splitlines()
+                   if "Δseconds" in line)
+        # p=1 and p=4 matched, the n-changed p=2 point did not.
+        cells = [c.strip() for c in row.strip("|").split("|")]
+        assert cells[2] == "+0.0%"
+        assert cells[3] == "–"
+        assert cells[4] != "–"
+
+
+def test_efficiency_regression_at_largest_p_warns():
+    prev_b, cur_b = curve_fixture(eff_p4_cur=0.50)  # 0.83 -> 0.50: -39%
+    with tempfile.TemporaryDirectory() as prev, \
+            tempfile.TemporaryDirectory() as cur:
+        write_bench(prev, "scaling", prev_b)
+        write_bench(cur, "scaling", cur_b)
+        rc, out, err = run_main([prev, cur])
+        assert rc == 0
+        assert "::warning" in err
+        assert "efficiency" in err and "p=4" in err
+
+
+def test_efficiency_within_threshold_does_not_warn():
+    prev_b, cur_b = curve_fixture(eff_p4_cur=0.78)  # 0.83 -> 0.78: -6%
+    with tempfile.TemporaryDirectory() as prev, \
+            tempfile.TemporaryDirectory() as cur:
+        write_bench(prev, "scaling", prev_b)
+        write_bench(cur, "scaling", cur_b)
+        rc, out, err = run_main([prev, cur])
+        assert rc == 0
+        assert "efficiency" not in err
+
+
+def test_smaller_p_regression_does_not_warn():
+    """Only the largest common P gates the curve warning."""
+    prev_b, cur_b = curve_fixture(eff_p4_cur=0.83)
+    cur_b["sweeps"][1]["efficiency"] = 0.40  # p=2 tanked, p=4 fine
+    with tempfile.TemporaryDirectory() as prev, \
+            tempfile.TemporaryDirectory() as cur:
+        write_bench(prev, "scaling", prev_b)
+        write_bench(cur, "scaling", cur_b)
+        rc, out, err = run_main([prev, cur])
+        assert rc == 0
+        assert "efficiency" not in err
+
+
+def test_render_mode_without_baseline():
+    _, cur_b = curve_fixture(eff_p4_cur=0.83)
+    with tempfile.TemporaryDirectory() as cur:
+        write_bench(cur, "scaling", cur_b)
+        rc, out, err = run_main(["--render", cur])
+        assert rc == 0
+        assert "Scaling curves" in out
+        assert "for_each scaling curves" in out
+        assert "p=1" in out and "p=4" in out
+        assert "0.83" in out
+        assert "Δseconds" not in out  # no baseline: no delta rows
+        assert "::warning" not in err
+
+
+def test_render_mode_empty_dir():
+    with tempfile.TemporaryDirectory() as cur:
+        rc, out, err = run_main(["--render", cur])
+        assert rc == 0
+        assert "No sweep data found" in out
+
+
+def test_usage_error():
+    rc, out, err = run_main([])
+    assert rc == 1
+
+
+if __name__ == "__main__":
+    failed = 0
+    for name, fn in sorted(t for t in globals().items()
+                           if t[0].startswith("test_") and callable(t[1])):
+        try:
+            fn()
+            print(f"PASS {name}")
+        except AssertionError:
+            import traceback
+            traceback.print_exc()
+            print(f"FAIL {name}")
+            failed += 1
+    sys.exit(1 if failed else 0)
