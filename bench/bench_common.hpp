@@ -123,6 +123,34 @@ inline void json_flush_table()
   return out + "}";
 }
 
+/// Serializes the process-wide latency accumulator: one object per op
+/// family that recorded samples, with count/sum and the tail quantiles.
+/// Empty ({}) unless the bench enabled latency recording (--latency /
+/// STAPL_LATENCY=1) or fed histograms directly.
+[[nodiscard]] inline std::string json_latency()
+{
+  std::string out = "{";
+  bool first = true;
+  for (std::size_t i = 0; i != stapl::latency::op_count; ++i) {
+    auto const o = static_cast<stapl::latency::op>(i);
+    auto const h = stapl::latency::process_histogram(o);
+    if (h.empty())
+      continue;
+    if (!first)
+      out += ", ";
+    first = false;
+    out += json_quote(stapl::latency::name_of(o)) +
+           ": {\"count\": " + std::to_string(h.count) +
+           ", \"sum_ns\": " + std::to_string(h.sum_ns) +
+           ", \"p50_ns\": " + std::to_string(h.p50()) +
+           ", \"p90_ns\": " + std::to_string(h.p90()) +
+           ", \"p99_ns\": " + std::to_string(h.p99()) +
+           ", \"p999_ns\": " + std::to_string(h.p999()) +
+           ", \"max_ns\": " + std::to_string(h.max()) + "}";
+  }
+  return out + "}";
+}
+
 inline void json_write_file()
 {
   auto& j = jstate();
@@ -140,9 +168,9 @@ inline void json_write_file()
     extra += ",\n  " + json_quote(k) + ": " + v;
   std::fprintf(f,
                "{\n  \"bench\": %s,\n  \"scale\": %zu,\n  \"tables\": [\n%s\n"
-               "  ],\n  \"metrics\": %s%s\n}\n",
+               "  ],\n  \"metrics\": %s,\n  \"latency\": %s%s\n}\n",
                json_quote(j.name).c_str(), scale(), j.tables.c_str(),
-               json_metrics().c_str(), extra.c_str());
+               json_metrics().c_str(), json_latency().c_str(), extra.c_str());
   std::fclose(f);
   std::printf("# wrote %s\n", path.c_str());
 }
@@ -167,9 +195,12 @@ inline void set_extra_json(std::string const& key, std::string value)
   j.extra.emplace_back(key, std::move(value));
 }
 
-/// Parses bench CLI flags (currently `--json`).  `name` defaults to the
+/// Parses bench CLI flags (`--json`, `--latency`).  `name` defaults to the
 /// binary's basename with a leading "bench_" stripped.  The JSON file is
-/// written at normal process exit.
+/// written at normal process exit.  Latency recording stays opt-in
+/// (`--latency` or STAPL_LATENCY=1) so the figure benches' timings are not
+/// perturbed by clock reads on their fast paths; when on, per-family tail
+/// quantiles land in the "latency" JSON section.
 inline void init(int argc, char** argv, std::string name = {})
 {
   auto& j = detail::jstate();
@@ -181,9 +212,15 @@ inline void init(int argc, char** argv, std::string name = {})
       name = name.substr(6);
   }
   j.name = std::move(name);
-  for (int i = 1; i < argc; ++i)
-    if (std::string(argv[i]) == "--json")
+  for (int i = 1; i < argc; ++i) {
+    std::string const arg = argv[i];
+    if (arg == "--json")
       j.enabled = true;
+    else if (arg == "--latency")
+      stapl::latency::enable();
+  }
+  if (char const* e = std::getenv("STAPL_LATENCY"); e && *e && *e != '0')
+    stapl::latency::enable();
   if (j.enabled)
     std::atexit(detail::json_write_file);
 }

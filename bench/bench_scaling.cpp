@@ -87,9 +87,12 @@ double k_sample_sort(sweep_point const& pt)
 
 /// Streaming pGraph scenario: a dynamic (directory-forwarded) random graph
 /// under edge churn.  Each timed round rewires a sample of local out-edges
-/// (rewire_edge_async: one routed visit per rewire), kicks residual mass
-/// into the churned sources, and re-runs incremental PageRank from exactly
-/// those vertices — recompute cost follows the churn, not the graph size.
+/// (rewire_edge_async: one routed visit per rewire) and *deletes* every
+/// third sampled edge outright (delete_edge, no replacement) so
+/// out-degrees genuinely shrink as the stream progresses, kicks residual
+/// mass into the churned sources, and re-runs incremental PageRank from
+/// exactly those vertices — recompute cost follows the churn, not the
+/// graph size.
 double k_graph_stream(sweep_point const& pt)
 {
   using namespace stapl;
@@ -114,10 +117,16 @@ double k_graph_stream(sweep_point const& pt)
         auto const targets = g.out_edges(v);
         if (targets.empty())
           continue;
-        vertex_descriptor w = pick(gen);
-        if (w == v)
-          w = (w + 1) % n;
-        g.rewire_edge_async(v, targets[gen() % targets.size()], w);
+        vertex_descriptor const old = targets[gen() % targets.size()];
+        if (i % 3 == 2) {
+          // Deletion-heavy churn: drop the edge without a replacement.
+          g.delete_edge(v, old);
+        } else {
+          vertex_descriptor w = pick(gen);
+          if (w == v)
+            w = (w + 1) % n;
+          g.rewire_edge_async(v, old, w);
+        }
         g.apply_vertex(v, [](auto& rec) { rec.property.residual += 1e-4; });
         touched.push_back(v);
       }

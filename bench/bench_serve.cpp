@@ -1,0 +1,408 @@
+// Long-running Zipf key-value serving scenario (no dissertation figure —
+// the ROADMAP's "millions of users" tail-latency story): a p_hash_map
+// serves an open-loop find/insert/apply mix whose hotspot drifts across
+// the key space and periodically spikes into a flash crowd, while
+// rebalance() waves fire mid-window — measuring p50/p99/p999 operation
+// latency *during* the waves against steady-state windows.
+//
+// Methodology:
+//
+//   * Open loop with intended-start correction (coordinated-omission
+//     safe): a warm-up burst calibrates the achievable closed-loop rate,
+//     then a couple of unmeasured *adaptation* windows pace at ~70% of it
+//     and back the rate off to what the paced loop actually sustains —
+//     the burst overstates capacity when locations oversubscribe cores
+//     (pacing adds scheduling and polling overhead the burst never pays),
+//     and serving above capacity turns every window into backlog noise.
+//     The measured loop then paces each op against its *intended* start
+//     time and charges completion - intended_start.  A rebalance wave
+//     that stalls the world mid-window therefore lands in the recorded
+//     tail of every op queued behind it, exactly like queued user
+//     requests.
+//
+//   * Each location polls the runtime while it is ahead of schedule, so
+//     remote requests keep draining between its own ops; when a poll
+//     finds no work it yields, so waiting never starves the locations
+//     that are serving.
+//
+//   * Window boundaries fence, then capture one collective
+//     metrics::sample_global window into the timeseries sampler —
+//     steady-state observability instead of one end-of-run number.
+//
+// Tables: per-window latency (the timeseries), steady-vs-wave class
+// histograms with the p99 excursion ratio, and throughput.  With --json
+// the timeseries rides the "timeseries" extra section of
+// BENCH_serve.json.  --trace <path> streams a kind-masked event trace
+// (waves, fences, migrations — not the per-op rmi_send flood) to disk
+// incrementally via trace::stream_to.  --smoke shrinks everything for CI.
+
+#include "bench_common.hpp"
+#include "containers/p_associative.hpp"
+#include "core/load_balancer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+using namespace stapl;
+
+namespace {
+
+/// Zipf(s=1) sampler over [0, n) via inverse-CDF lookup driven by a
+/// per-location LCG (deterministic, no shared RNG state).
+class zipf_sampler {
+ public:
+  explicit zipf_sampler(std::size_t n)
+  {
+    m_cdf.resize(n);
+    double sum = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      sum += 1.0 / static_cast<double>(r + 1);
+      m_cdf[r] = sum;
+    }
+    for (auto& c : m_cdf)
+      c /= sum;
+  }
+
+  [[nodiscard]] std::size_t operator()(std::uint64_t& state) const
+  {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    double const u =
+        static_cast<double>(state >> 11) * (1.0 / 9007199254740992.0);
+    return static_cast<std::size_t>(
+        std::lower_bound(m_cdf.begin(), m_cdf.end(), u) - m_cdf.begin());
+  }
+
+ private:
+  std::vector<double> m_cdf;
+};
+
+struct serve_config {
+  unsigned locations = 4;
+  std::size_t keys = 1 << 14;          ///< key-space size
+  std::size_t warm_ops = 4000;         ///< calibration burst per location
+  std::size_t adapt_windows = 2;       ///< unmeasured rate-adaptation windows
+  std::size_t windows = 12;            ///< serve windows after warm-up
+  std::size_t wave_every = 4;          ///< rebalance mid-window every Nth
+  std::size_t flash_every = 5;         ///< flash-crowd every Nth window
+  std::uint64_t window_ns = 400'000'000;  ///< target window length
+  double pace = 0.70;                  ///< open-loop rate vs calibrated max
+};
+
+struct window_row {
+  std::string label;
+  std::uint64_t ops = 0;
+  std::uint64_t p50_ns = 0, p99_ns = 0, p999_ns = 0, max_ns = 0;
+};
+
+struct serve_result {
+  std::vector<window_row> rows;              ///< one per window (loc 0 view)
+  latency::histogram steady, wave;           ///< serve.op by window class
+  double achieved_rate = 0;                  ///< calibrated ops/s/location
+  std::uint64_t total_ops = 0;
+  double serve_seconds = 0;
+};
+
+/// One serving run.  `sampler` is only touched by location 0 (inside
+/// sample_global); `result` is written by location 0 under `m`.
+void run_serve(serve_config const& cfg, metrics::sampler& sampler,
+               std::mutex& m, serve_result& result)
+{
+  execute(cfg.locations, [&] {
+    std::size_t const n = cfg.keys;
+    p_hash_map<long, long> kv;
+
+    load_balancer_config lb;
+    lb.imbalance_threshold = 1.10; // migrate eagerly: waves should move keys
+    lb.hot_k = 256;
+    kv.enable_load_balancing(lb);
+
+    // Preload the whole key space so finds hit.
+    for (std::size_t k = this_location(); k < n; k += num_locations())
+      kv.insert_async(static_cast<long>(k), 1);
+    rmi_fence();
+
+    zipf_sampler const zipf(n);
+    std::uint64_t rng =
+        0x9E3779B97F4A7C15ull * (this_location() + 1) + 12345;
+
+    // Op mix: 70% find, 20% apply, 10% insert(overwrite-style touch).
+    // `hot_base` drifts the Zipf head across the key space per window;
+    // flash windows funnel half the traffic into 64 keys at the head.
+    auto serve_one = [&](std::size_t hot_base, bool flash) {
+      rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+      std::uint64_t const dice = (rng >> 33) % 100;
+      std::size_t rank = zipf(rng);
+      if (flash && (rng & 1))
+        rank %= 64;
+      long const key = static_cast<long>((hot_base + rank) % n);
+      if (dice < 70)
+        (void)kv.find_val(key);
+      else if (dice < 90)
+        kv.apply_async(key, [](long& v) { v += 1; });
+      else
+        kv.insert_async(key, static_cast<long>(dice));
+    };
+
+    // Pace against the intended schedule; when ahead, drain remote traffic
+    // and yield on empty polls instead of burning the timeslice.
+    auto pace_until = [](std::uint64_t intended) {
+      while (latency::now_ns() < intended)
+        if (!rmi_poll())
+          std::this_thread::yield();
+    };
+
+    // --- Calibration: closed-loop burst -> first guess at the rate.
+    rmi_fence();
+    std::uint64_t const cal_t0 = latency::now_ns();
+    for (std::size_t i = 0; i < cfg.warm_ops; ++i)
+      serve_one(0, false);
+    rmi_fence();
+    std::uint64_t const cal_ns =
+        std::max<std::uint64_t>(1, latency::now_ns() - cal_t0);
+    double const my_rate =
+        static_cast<double>(cfg.warm_ops) / static_cast<double>(cal_ns);
+    // Everyone paces at the slowest location's sustainable rate.
+    double rate_per_ns =
+        cfg.pace *
+        allreduce(my_rate, [](double a, double b) { return a < b ? a : b; });
+
+    // --- Adaptation: unmeasured paced windows back the rate off to what
+    // the open-loop structure actually sustains.  A window that overruns
+    // its schedule by >10% means the offered load exceeds capacity (the
+    // burst overstates it under core oversubscription); re-anchor at
+    // `pace` times the achieved rate.  Within schedule = leave the rate
+    // alone (a paced loop can never exceed its offered rate, so achieved
+    // rate alone is not a capacity signal).
+    for (std::size_t a = 0; a < cfg.adapt_windows; ++a) {
+      std::size_t const ops = std::max<std::size_t>(
+          64, static_cast<std::size_t>(rate_per_ns *
+                                       static_cast<double>(cfg.window_ns)));
+      std::uint64_t const t0 = latency::now_ns();
+      for (std::size_t i = 0; i < ops; ++i) {
+        pace_until(t0 + static_cast<std::uint64_t>(
+                            static_cast<double>(i) / rate_per_ns));
+        serve_one(0, false);
+      }
+      rmi_fence();
+      std::uint64_t const elapsed =
+          std::max<std::uint64_t>(1, latency::now_ns() - t0);
+      double my_adapted = rate_per_ns;
+      if (static_cast<double>(elapsed) >
+          1.10 * static_cast<double>(cfg.window_ns))
+        my_adapted = cfg.pace * static_cast<double>(ops) /
+                     static_cast<double>(elapsed);
+      rate_per_ns = allreduce(
+          my_adapted, [](double a_, double b_) { return a_ < b_ ? a_ : b_; });
+    }
+
+    std::size_t const ops_per_window = std::max<std::size_t>(
+        64, static_cast<std::size_t>(rate_per_ns *
+                                     static_cast<double>(cfg.window_ns)));
+
+    // Fresh epoch for the measured phase: drops warm-up samples from every
+    // recorder (lazily, via the reset epoch) and re-baselines the sampler.
+    metrics::reset_all();
+    rmi_fence();
+    if (this_location() == 0)
+      sampler.arm();
+    rmi_fence();
+
+    latency::histogram steady_h, wave_h;
+    std::uint64_t served = 0;
+    std::uint64_t const serve_t0 = latency::now_ns();
+
+    for (std::size_t w = 1; w <= cfg.windows; ++w) {
+      bool const wave = cfg.wave_every != 0 && w % cfg.wave_every == 0;
+      bool const flash = cfg.flash_every != 0 && w % cfg.flash_every == 0;
+      std::size_t const hot_base = (w * n) / 7; // drifting hotspot
+      latency::histogram& class_h = wave ? wave_h : steady_h;
+
+      std::uint64_t const t0 = latency::now_ns();
+      for (std::size_t i = 0; i < ops_per_window; ++i) {
+        // The wave is collective: every location fires it at the same op
+        // index, mid-window, while its own queue keeps its schedule — the
+        // stall shows up as backlog against the intended starts below.
+        if (wave && i == ops_per_window / 2)
+          (void)kv.rebalance();
+
+        std::uint64_t const intended =
+            t0 + static_cast<std::uint64_t>(static_cast<double>(i) /
+                                            rate_per_ns);
+        pace_until(intended); // ahead of schedule: serve remotes, yield
+        serve_one(hot_base, flash);
+        std::uint64_t const lat = latency::now_ns() - intended;
+        latency::record_ns(latency::op::serve_op, lat);
+        class_h.record(lat);
+        served += 1;
+      }
+
+      rmi_fence();
+      metrics::sample_global(sampler, wave    ? "wave"
+                                      : flash ? "flash"
+                                              : "steady");
+    }
+
+    double const serve_s =
+        static_cast<double>(latency::now_ns() - serve_t0) / 1e9;
+
+    // Class histograms: exact global merge (what a single recorder that
+    // saw every location's samples would hold).
+    auto const g_steady =
+        allreduce(steady_h, [](latency::histogram a,
+                               latency::histogram const& b) {
+          a.merge(b);
+          return a;
+        });
+    auto const g_wave =
+        allreduce(wave_h, [](latency::histogram a,
+                             latency::histogram const& b) {
+          a.merge(b);
+          return a;
+        });
+    auto const g_served =
+        allreduce(served, [](std::uint64_t a, std::uint64_t b) {
+          return a + b;
+        });
+
+    if (this_location() == 0) {
+      std::lock_guard lock(m);
+      result.steady = g_steady;
+      result.wave = g_wave;
+      result.achieved_rate = rate_per_ns * 1e9 / cfg.pace;
+      result.total_ops = g_served;
+      result.serve_seconds = serve_s;
+      for (auto const& p : sampler.series()) {
+        auto const& w =
+            p.ops[static_cast<std::size_t>(latency::op::serve_op)];
+        result.rows.push_back(
+            {p.label, w.count, w.p50_ns, w.p99_ns, w.p999_ns, w.max_ns});
+      }
+    }
+  });
+}
+
+[[nodiscard]] double us(std::uint64_t ns)
+{
+  return static_cast<double>(ns) / 1e3;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+  bench::init(argc, argv, "serve");
+
+  serve_config cfg;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view const arg = argv[i];
+    if (arg == "--smoke") {
+      cfg.keys = 1 << 12;
+      cfg.warm_ops = 1500;
+      cfg.windows = 6;
+      cfg.wave_every = 3;
+      cfg.window_ns = 120'000'000;
+    } else if (arg == "--p" && i + 1 < argc) {
+      cfg.locations = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--windows" && i + 1 < argc) {
+      cfg.windows = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--pace" && i + 1 < argc) {
+      cfg.pace = std::atof(argv[++i]);
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    }
+  }
+
+  std::printf("# Zipf KV serving: open-loop find/apply/insert mix, drifting "
+              "hotspot + flash crowds,\n# rebalance waves mid-window; "
+              "p50/p99/p999 per window via metrics::sample_global\n");
+  std::printf("# P=%u keys=%zu windows=%zu (wave every %zu, flash every "
+              "%zu)\n",
+              cfg.locations, cfg.keys, cfg.windows, cfg.wave_every,
+              cfg.flash_every);
+
+  latency::enable(); // the whole point of this bench
+
+  if (!trace_path.empty()) {
+    // Streamed, kind-masked trace: the reshaping events only — fences,
+    // waves, migrations, epoch advances — not the per-op rmi_send flood.
+    trace::enable(std::size_t{1} << 12, false,
+                  trace::kind_bit(trace::event_kind::fence) |
+                      trace::kind_bit(trace::event_kind::rebalance_wave) |
+                      trace::kind_bit(trace::event_kind::migration) |
+                      trace::kind_bit(trace::event_kind::epoch_advance));
+    if (!trace::stream_to(trace_path))
+      std::fprintf(stderr, "bench_serve: cannot stream trace to %s\n",
+                   trace_path.c_str());
+  }
+
+  metrics::sampler sampler;
+  std::mutex m;
+  serve_result res;
+  run_serve(cfg, sampler, m, res);
+
+  if (!trace_path.empty()) {
+    trace::stream_close();
+    trace::disable();
+    std::printf("# streamed %llu trace events to %s\n",
+                static_cast<unsigned long long>(trace::streamed_events()),
+                trace_path.c_str());
+    trace::clear();
+  }
+
+  bench::table_header("per-window serve.op latency (us)",
+                      {"window", "label", "ops", "p50", "p99", "p999"});
+  for (std::size_t i = 0; i < res.rows.size(); ++i) {
+    auto const& r = res.rows[i];
+    bench::cell(i + 1);
+    bench::cell(r.label);
+    bench::cell(r.ops);
+    bench::cell(us(r.p50_ns));
+    bench::cell(us(r.p99_ns));
+    bench::cell(us(r.p999_ns));
+    bench::endrow();
+  }
+
+  double const excursion =
+      res.steady.p99() > 0 ? static_cast<double>(res.wave.p99()) /
+                                 static_cast<double>(res.steady.p99())
+                           : 0.0;
+  bench::table_header(
+      "steady vs wave windows (us)",
+      {"class", "ops", "p50", "p99", "p999", "max", "p99_ratio"});
+  bench::cell(std::string("steady"));
+  bench::cell(res.steady.count);
+  bench::cell(us(res.steady.p50()));
+  bench::cell(us(res.steady.p99()));
+  bench::cell(us(res.steady.p999()));
+  bench::cell(us(res.steady.max()));
+  bench::cell(1.0);
+  bench::endrow();
+  bench::cell(std::string("wave"));
+  bench::cell(res.wave.count);
+  bench::cell(us(res.wave.p50()));
+  bench::cell(us(res.wave.p99()));
+  bench::cell(us(res.wave.p999()));
+  bench::cell(us(res.wave.max()));
+  bench::cell(excursion);
+  bench::endrow();
+
+  bench::table_header("throughput", {"calibrated_rate", "served_mops_s"});
+  bench::cell(res.achieved_rate * cfg.locations);
+  bench::cell(res.serve_seconds > 0
+                  ? static_cast<double>(res.total_ops) / res.serve_seconds /
+                        1e6
+                  : 0.0);
+  bench::endrow();
+
+  bench::set_extra_json("timeseries", sampler.to_json());
+
+  std::printf("\n# wave p99 / steady p99 = %.2f\n", excursion);
+  return 0;
+}

@@ -410,6 +410,10 @@ class p_container_base : public p_object {
   template <typename Action>
   void invoke(std::size_t method, gid_type gid, Action action)
   {
+    // For async routes this measures the initiation (resolve + enqueue)
+    // cost; completion latency is covered by the rmi.sync / serve.op
+    // families.
+    latency::timed_op lat_scope(latency::op::container_apply);
     if (m_dynamic) {
       rmi_handle const h = this->get_handle();
       m_directory->invoke_where(
@@ -473,6 +477,7 @@ class p_container_base : public p_object {
   [[nodiscard]] auto invoke_ret(std::size_t method, gid_type gid,
                                 Action action)
   {
+    latency::timed_op lat_scope(latency::op::container_apply);
     if (m_dynamic) {
       {
         dyn_guard guard(*this);

@@ -413,6 +413,7 @@ class directory : public p_object {
   /// directory without a default owner.
   [[nodiscard]] location_id resolve(GID const& g)
   {
+    latency::timed_op lat_scope(latency::op::dir_resolve);
     {
       std::lock_guard lock(m_mutex);
       if (m_owned.count(g)) {

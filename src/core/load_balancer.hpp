@@ -280,6 +280,7 @@ rebalance_report rebalance(C& c, load_balancer_config const& cfg)
   auto& dir = c.get_directory();
 
   trace::trace_scope wave_scope(trace::event_kind::rebalance_wave);
+  latency::timed_op lat_scope(latency::op::lb_wave_stall);
   metrics::add("lb.waves", 1);
 
   // Quiesce: in-flight accesses execute (and are counted) before measuring.

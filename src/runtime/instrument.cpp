@@ -1,5 +1,7 @@
 #include "instrument.hpp"
 
+#include "latency.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <fstream>
@@ -16,6 +18,7 @@ namespace trace {
 
 namespace instrument_detail {
 std::atomic<bool> g_trace_enabled{false};
+std::atomic<std::uint64_t> g_kind_mask{all_kinds};
 } // namespace instrument_detail
 
 namespace {
@@ -68,12 +71,80 @@ std::chrono::steady_clock::time_point g_epoch{};
 
 thread_local ring* tl_ring = nullptr;
 
+/// Streaming sink state.  g_stream_mutex serializes file writes across
+/// location threads; the lock order is g_ring_mutex before g_stream_mutex
+/// (stream_close), never the reverse — ring-full flushes from the writer
+/// thread take only g_stream_mutex.
+std::mutex g_stream_mutex;
+std::unique_ptr<std::ofstream> g_stream;
+std::atomic<bool> g_streaming{false};
+std::atomic<std::uint64_t> g_streamed{0};
+bool g_stream_first = true;               ///< no event object written yet
+std::ofstream::pos_type g_stream_tail{};  ///< where the trailing "]}" starts
+std::vector<location_id> g_stream_named;  ///< lanes with metadata written
+
 ring* find_ring(location_id id)
 {
   for (auto const& r : g_rings)
     if (r->loc == id)
       return r.get();
   return nullptr;
+}
+
+/// One event as a Chrome trace-event JSON object (shared by dump and the
+/// streaming sink).
+void write_event_json(std::ostream& out, event const& e)
+{
+  out << R"({"name":")" << name_of(e.kind) << R"(","pid":1,"tid":)" << e.loc
+      << R"(,"ts":)" << e.ts_us;
+  if (is_scope(e.kind))
+    out << R"(,"ph":"X","dur":)" << e.dur_us;
+  else
+    out << R"(,"ph":"i","s":"t")";
+  out << R"(,"args":{"v":)" << e.arg << "}}";
+}
+
+/// Appends one JSON object slot to the stream (comma/newline bookkeeping).
+/// Requires g_stream_mutex held and the tail rewound.
+void stream_sep()
+{
+  if (!g_stream_first)
+    *g_stream << ",";
+  g_stream_first = false;
+  *g_stream << "\n";
+}
+
+/// Re-seals the file so it stays a well-formed JSON document between
+/// flushes.  Requires g_stream_mutex held.
+void stream_seal()
+{
+  g_stream_tail = g_stream->tellp();
+  *g_stream << "\n]}";
+  g_stream->flush();
+}
+
+/// Flushes `r`'s current contents to the open sink and restarts it empty.
+/// Requires g_stream_mutex held; safe only from `r`'s writer thread or
+/// after the writer quiesced (stream_close).
+void flush_ring_to_stream(ring& r)
+{
+  if (!g_stream)
+    return;
+  g_stream->seekp(g_stream_tail);
+  if (std::find(g_stream_named.begin(), g_stream_named.end(), r.loc) ==
+      g_stream_named.end()) {
+    stream_sep();
+    *g_stream << R"({"name":"thread_name","ph":"M","pid":1,"tid":)" << r.loc
+              << R"(,"args":{"name":"location )" << r.loc << R"("}})";
+    g_stream_named.push_back(r.loc);
+  }
+  for (event const& e : r.ordered()) {
+    stream_sep();
+    write_event_json(*g_stream, e);
+    g_streamed.fetch_add(1, std::memory_order_relaxed);
+  }
+  r.size.store(0, std::memory_order_release);
+  stream_seal();
 }
 
 } // namespace
@@ -99,12 +170,14 @@ char const* name_of(event_kind k) noexcept
   return "unknown";
 }
 
-void enable(std::size_t capacity_per_location, bool keep_last)
+void enable(std::size_t capacity_per_location, bool keep_last,
+            std::uint64_t kind_mask)
 {
   std::lock_guard lock(g_ring_mutex);
   g_capacity = std::max<std::size_t>(1, capacity_per_location);
   g_keep_last = keep_last;
   g_epoch = std::chrono::steady_clock::now();
+  instrument_detail::g_kind_mask.store(kind_mask, std::memory_order_relaxed);
   instrument_detail::g_trace_enabled.store(true, std::memory_order_release);
 }
 
@@ -154,7 +227,16 @@ void record(event const& e) noexcept
   ring* r = tl_ring;
   if (r == nullptr || !enabled())
     return;
-  std::size_t const n = r->size.load(std::memory_order_relaxed);
+  if ((kind_mask() & kind_bit(e.kind)) == 0)
+    return; // filtered at emit: one mask test, not recorded, not a drop
+  std::size_t n = r->size.load(std::memory_order_relaxed);
+  if (n >= r->buf.size() && g_streaming.load(std::memory_order_acquire)) {
+    // Streaming sink open: retire the full ring to disk and restart it —
+    // no drops while streaming.  We are this ring's only writer.
+    std::lock_guard lock(g_stream_mutex);
+    flush_ring_to_stream(*r);
+    n = 0;
+  }
   if (r->keep_last) {
     r->buf[n % r->buf.size()] = e;
     if (n >= r->buf.size())
@@ -261,13 +343,7 @@ bool dump(std::string const& path)
   for (auto const& r : g_rings) {
     for (event const& e : r->ordered()) {
       sep();
-      out << R"({"name":")" << name_of(e.kind) << R"(","pid":1,"tid":)"
-          << e.loc << R"(,"ts":)" << e.ts_us;
-      if (is_scope(e.kind))
-        out << R"(,"ph":"X","dur":)" << e.dur_us;
-      else
-        out << R"(,"ph":"i","s":"t")";
-      out << R"(,"args":{"v":)" << e.arg << "}}";
+      write_event_json(out, e);
     }
     std::uint64_t const drops = r->drops.load(std::memory_order_acquire);
     if (drops != 0) {
@@ -280,6 +356,58 @@ bool dump(std::string const& path)
 
   out << "\n]}\n";
   return static_cast<bool>(out);
+}
+
+bool stream_to(std::string const& path)
+{
+  std::lock_guard lock(g_stream_mutex);
+  auto f = std::make_unique<std::ofstream>(path);
+  if (!*f)
+    return false;
+  g_stream = std::move(f);
+  g_stream_first = true;
+  g_stream_named.clear();
+  g_streamed.store(0, std::memory_order_relaxed);
+  *g_stream << "{\"traceEvents\":[";
+  stream_sep();
+  *g_stream << R"({"name":"process_name","ph":"M","pid":1,"args":)"
+            << R"({"name":"stapl"}})";
+  stream_seal();
+  g_streaming.store(true, std::memory_order_release);
+  return true;
+}
+
+void stream_close()
+{
+  std::lock_guard rlock(g_ring_mutex);
+  std::lock_guard slock(g_stream_mutex);
+  if (!g_stream)
+    return;
+  g_streaming.store(false, std::memory_order_release);
+  for (auto const& r : g_rings)
+    flush_ring_to_stream(*r);
+  g_stream->seekp(g_stream_tail);
+  for (auto const& r : g_rings) {
+    std::uint64_t const drops = r->drops.load(std::memory_order_acquire);
+    if (drops != 0) {
+      stream_sep();
+      *g_stream << R"({"name":"dropped_events","ph":"i","s":"t","pid":1,)"
+                << R"("tid":)" << r->loc << R"(,"ts":)" << now_us()
+                << R"(,"args":{"v":)" << drops << "}}";
+    }
+  }
+  stream_seal();
+  g_stream.reset();
+}
+
+bool streaming()
+{
+  return g_streaming.load(std::memory_order_acquire);
+}
+
+std::uint64_t streamed_events()
+{
+  return g_streamed.load(std::memory_order_relaxed);
 }
 
 } // namespace trace
@@ -348,6 +476,20 @@ counter_map snapshot()
   counter_map m = s.accumulated;
   for (auto const& c : s.live)
     c.fold(m);
+  for (std::size_t i = 0; i != latency::op_count; ++i) {
+    auto const o = static_cast<latency::op>(i);
+    auto const h = latency::local_snapshot(o);
+    if (h.empty())
+      continue;
+    std::string const stem = std::string("lat.") + latency::name_of(o);
+    m[stem + ".count"] = h.count;
+    m[stem + ".sum_ns"] = h.sum_ns;
+    m[stem + ".p50_ns"] = h.p50();
+    m[stem + ".p90_ns"] = h.p90();
+    m[stem + ".p99_ns"] = h.p99();
+    m[stem + ".p999_ns"] = h.p999();
+    m[stem + ".max_ns"] = h.max();
+  }
   return m;
 }
 
@@ -357,13 +499,18 @@ void reset_all()
   for (auto const& c : s.live)
     c.reset();
   s.accumulated.clear();
+  latency::reset();
 }
 
 void fold_into_process(counter_map const& m)
 {
   std::lock_guard lock(g_process_mutex);
-  for (auto const& [k, v] : m)
-    g_process_totals[k] += v;
+  for (auto const& [k, v] : m) {
+    if (sums_on_merge(k))
+      g_process_totals[k] += v;
+    else if (v > g_process_totals[k])
+      g_process_totals[k] = v; // gauge: keep the worst location's value
+  }
 }
 
 counter_map process_totals()

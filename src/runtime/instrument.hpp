@@ -91,6 +91,7 @@ struct event {
 
 namespace instrument_detail {
 extern std::atomic<bool> g_trace_enabled;
+extern std::atomic<std::uint64_t> g_kind_mask;
 } // namespace instrument_detail
 
 /// Whether tracing is on.  This is the only cost paid at every emit site
@@ -98,6 +99,30 @@ extern std::atomic<bool> g_trace_enabled;
 [[nodiscard]] inline bool enabled() noexcept
 {
   return instrument_detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Mask bit of one event kind (for composing `enable` kind masks).
+[[nodiscard]] constexpr std::uint64_t kind_bit(event_kind k) noexcept
+{
+  return std::uint64_t{1} << static_cast<unsigned>(k);
+}
+
+/// Mask selecting every event kind (the `enable` default).
+inline constexpr std::uint64_t all_kinds =
+    (std::uint64_t{1} << static_cast<unsigned>(event_kind::kind_count_)) - 1;
+
+/// The active emit filter.  Events whose kind bit is clear are skipped at
+/// the emit site (not recorded, not counted as dropped).
+[[nodiscard]] inline std::uint64_t kind_mask() noexcept
+{
+  return instrument_detail::g_kind_mask.load(std::memory_order_relaxed);
+}
+
+/// Whether events of kind `k` are currently recorded — the hot-path test:
+/// one relaxed load when disabled, plus one mask test when enabled.
+[[nodiscard]] inline bool recording(event_kind k) noexcept
+{
+  return enabled() && (kind_mask() & kind_bit(k)) != 0;
 }
 
 /// Turns tracing on.  Rings are created lazily at `attach` with
@@ -110,8 +135,12 @@ extern std::atomic<bool> g_trace_enabled;
 /// steady-state runs (serving loops, scaling sweeps) retain the most
 /// recent window instead of the warm-up.  Drop counts are exact in both
 /// modes: a keep-last overwrite counts the displaced event as dropped.
+///
+/// `kind_mask` filters at emit: only kinds whose `kind_bit` is set are
+/// recorded (one mask test on the hot path), so a long serving run can
+/// trace rebalance waves and fences without drowning in per-op rmi_send.
 void enable(std::size_t capacity_per_location = std::size_t{1} << 16,
-            bool keep_last = false);
+            bool keep_last = false, std::uint64_t kind_mask = all_kinds);
 
 /// Turns tracing off.  Recorded events remain readable until `clear()`.
 void disable();
@@ -162,12 +191,35 @@ void emit_complete(event_kind k, std::uint64_t ts_us, std::uint64_t dur_us,
 /// chrome://tracing.  Returns false if the file cannot be written.
 bool dump(std::string const& path);
 
+/// Opens an incremental streaming sink: from now on, whenever a ring
+/// fills, its events are flushed to `path` (Chrome trace-event JSON) and
+/// the ring restarts empty — so a long run's trace lands on disk during
+/// the run instead of dump-at-end, with no events dropped while the sink
+/// is open.  Call `stream_close()` to flush the remaining ring contents
+/// and finalize the file (the file is also valid mid-run: the array is
+/// kept well-formed after every flush).  Returns false if the file cannot
+/// be opened.  Streaming composes with the kind mask; `keep_last` rings
+/// flush the same way (the circular window is linearized on flush).
+bool stream_to(std::string const& path);
+
+/// Flushes all rings and finalizes the streaming sink opened by
+/// `stream_to`.  No-op when no sink is open.
+void stream_close();
+
+/// Whether a streaming sink is currently open.
+[[nodiscard]] bool streaming();
+
+/// Events written to the streaming sink so far (across all flushes).
+[[nodiscard]] std::uint64_t streamed_events();
+
 /// RAII timer emitting one scope event from construction to destruction.
-/// Near-zero cost when tracing is disabled (one relaxed load).
+/// Near-zero cost when tracing is disabled (one relaxed load).  A kind
+/// masked out by `enable` deactivates the scope at construction, skipping
+/// both clock reads.
 class trace_scope {
  public:
   explicit trace_scope(event_kind k, std::uint64_t arg = 0) noexcept
-      : m_kind(k), m_arg(arg), m_active(enabled())
+      : m_kind(k), m_arg(arg), m_active(recording(k))
   {
     if (m_active)
       m_start = now_us();
@@ -211,6 +263,23 @@ namespace metrics {
 /// Ordered so snapshots print and compare deterministically.
 using counter_map = std::map<std::string, std::uint64_t>;
 
+/// Whether a snapshot key is additive across locations/executions.
+/// Latency quantile keys ("lat.<family>.p99_ns" etc.) are gauges: summing
+/// four locations' p99s is meaningless, so cross-location merges take the
+/// max instead and the process accumulator recomputes them from the exact
+/// merged histograms.  Counts and sums stay additive.
+[[nodiscard]] inline bool sums_on_merge(std::string const& key) noexcept
+{
+  if (key.rfind("lat.", 0) != 0)
+    return true;
+  auto const ends_with = [&key](char const* suffix) {
+    std::string const s(suffix);
+    return key.size() >= s.size() &&
+           key.compare(key.size() - s.size(), s.size(), s) == 0;
+  };
+  return ends_with(".count") || ends_with(".sum_ns");
+}
+
 using contributor_id = std::uint64_t;
 
 /// Registers a stats producer on the calling location thread.  `fold` adds
@@ -229,11 +298,16 @@ void unregister_contributor(contributor_id id);
 void add(std::string const& name, std::uint64_t delta);
 
 /// All counters visible to the calling location: finals of dead producers
-/// plus a fold over every live contributor.
+/// plus a fold over every live contributor, plus "lat.<family>.*"
+/// count/sum/quantile keys for every latency family this location has
+/// recorded (see latency.hpp).
 [[nodiscard]] counter_map snapshot();
 
 /// Resets every live contributor and clears the accumulated finals —
-/// the one-call replacement for the per-family piecemeal resets.
+/// the one-call replacement for the per-family piecemeal resets.  Also
+/// bumps the latency reset epoch, clearing every location's latency
+/// recorders (lazily) and re-baselining armed samplers, so back-to-back
+/// bench sections don't bleed quantiles into each other.
 void reset_all();
 
 /// Per-thread idle-time counters fed by the runtime's wait loops

@@ -1,0 +1,470 @@
+#ifndef STAPL_RUNTIME_LATENCY_HPP
+#define STAPL_RUNTIME_LATENCY_HPP
+
+// Tail-latency observability: per-operation HDR-style histograms and the
+// steady-state time-series sampler.
+//
+//   * latency:: — lock-free per-location latency recorders.  Each location
+//     (a thread in this RTS) owns one log-bucketed histogram per named
+//     operation family; recording is a single-writer bucket increment, so
+//     the instrumented hot paths take no locks.  Buckets subdivide every
+//     power-of-two octave into 2^sub_bits linear sub-buckets (HdrHistogram
+//     style), covering ~1 ns to ~18 minutes in ~9 KB per histogram with a
+//     bounded relative error of 1/2^sub_bits; count and sum are exact.
+//     Histograms are plain mergeable value types: snapshots add bucket-wise,
+//     so a collective merge (latency::global_histogram, defined with the
+//     other collectives in runtime.hpp) equals a histogram that recorded
+//     every location's samples directly.
+//
+//     The RAII `timed_op` scope is the emit site: when recording is
+//     disabled (the default) its cost is one relaxed atomic load — the
+//     same contract as the STAPL_TRACE sites.
+//
+//   * metrics::sampler — a time-series sampler for long steady-state runs.
+//     A serving bench arms one and periodically feeds it *cumulative*
+//     global state (counters + histograms); the sampler subtracts the
+//     previous sample bucket-wise and stores one timestamped window delta:
+//     counter deltas plus per-family window quantiles.  The series exports
+//     as the "timeseries" JSON array, turning an end-of-run number into a
+//     latency-over-time curve.
+//
+// Layering: like instrument.hpp this header depends only on types.hpp,
+// instrument.hpp and the standard library, because the timed-op sites live
+// in runtime.hpp itself (sync_rmi).  Collective wrappers
+// (latency::global_histogram, metrics::sample_global) are defined at the
+// bottom of runtime.hpp next to metrics::global_snapshot.  Mutable global
+// state lives in latency.cpp.
+
+#include "instrument.hpp"
+#include "types.hpp"
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stapl {
+
+namespace latency {
+
+/// Named operation families.  One histogram per family per location.
+enum class op : std::uint8_t {
+  dir_resolve,      ///< directory::resolve: blocking owner lookup
+  rmi_sync,         ///< sync_rmi: synchronous RMI round trip
+  tg_task,          ///< one task-graph task body
+  container_apply,  ///< container element-method execution (invoke paths)
+  lb_wave_stall,    ///< one rebalance() wave, entry to exit (the stall it
+                    ///< imposes on concurrent traffic)
+  serve_op,         ///< serving-bench operation (intended-start corrected)
+  op_count_         ///< sentinel, keep last
+};
+
+inline constexpr std::size_t op_count = static_cast<std::size_t>(op::op_count_);
+
+/// Stable display name ("dir.resolve", "rmi.sync", ...) — also the key stem
+/// of the "lat.<name>.*" entries in metrics::snapshot().
+[[nodiscard]] char const* name_of(op o) noexcept;
+
+// ---------------------------------------------------------------------------
+// histogram — log-bucketed, mergeable, bounded memory
+// ---------------------------------------------------------------------------
+
+/// HDR-style histogram over nanosecond values.  Value domain [0, 2^max_exp);
+/// larger samples clamp into the last bucket (max_ns stays exact).
+struct histogram {
+  static constexpr unsigned sub_bits = 5;            ///< 32 sub-buckets/octave
+  static constexpr std::uint64_t sub = 1ull << sub_bits;
+  static constexpr unsigned max_exp = 40;            ///< 2^40 ns ~ 18 minutes
+  static constexpr std::size_t n_buckets =
+      (static_cast<std::size_t>(max_exp) - sub_bits + 1) * sub;
+
+  std::array<std::uint64_t, n_buckets> counts{};
+  std::uint64_t count = 0;    ///< total samples (exact)
+  std::uint64_t sum_ns = 0;   ///< sum of samples (exact)
+  std::uint64_t max_ns = 0;   ///< largest sample (exact)
+
+  /// Bucket index of a value.  Values below `sub` get exact unit buckets;
+  /// above, the top sub_bits bits after the leading one select the
+  /// sub-bucket, so the relative bucket width stays 1/2^sub_bits.
+  [[nodiscard]] static constexpr std::size_t index_of(std::uint64_t ns) noexcept
+  {
+    if (ns < sub)
+      return static_cast<std::size_t>(ns);
+    unsigned e = 63u;
+    while ((ns >> e) == 0)
+      --e; // bit_width - 1 without <bit> (kept constexpr-friendly)
+    if (e >= max_exp)
+      return n_buckets - 1;
+    std::size_t const sidx =
+        static_cast<std::size_t>((ns >> (e - sub_bits)) - sub);
+    return (static_cast<std::size_t>(e) - sub_bits + 1) * sub + sidx;
+  }
+
+  /// Smallest value mapping into bucket `i`.
+  [[nodiscard]] static constexpr std::uint64_t bucket_lower(std::size_t i) noexcept
+  {
+    if (i < sub)
+      return i;
+    std::size_t const block = i / sub;             // >= 1
+    unsigned const e = static_cast<unsigned>(block) + sub_bits - 1;
+    std::uint64_t const sidx = i % sub;
+    return (sub + sidx) << (e - sub_bits);
+  }
+
+  /// Largest value mapping into bucket `i` (inclusive).
+  [[nodiscard]] static constexpr std::uint64_t bucket_upper(std::size_t i) noexcept
+  {
+    if (i + 1 >= n_buckets)
+      return ~std::uint64_t{0};
+    return bucket_lower(i + 1) - 1;
+  }
+
+  /// Representative value reported for bucket `i` (its midpoint).
+  [[nodiscard]] static constexpr std::uint64_t bucket_value(std::size_t i) noexcept
+  {
+    std::uint64_t const lo = bucket_lower(i);
+    if (i + 1 >= n_buckets)
+      return lo;
+    return lo + (bucket_upper(i) - lo) / 2;
+  }
+
+  void record(std::uint64_t ns) noexcept
+  {
+    counts[index_of(ns)] += 1;
+    count += 1;
+    sum_ns += ns;
+    if (ns > max_ns)
+      max_ns = ns;
+  }
+
+  /// Bucket-wise addition: merge(record(A), record(B)) == record(A ∪ B).
+  void merge(histogram const& o) noexcept
+  {
+    for (std::size_t i = 0; i != n_buckets; ++i)
+      counts[i] += o.counts[i];
+    count += o.count;
+    sum_ns += o.sum_ns;
+    if (o.max_ns > max_ns)
+      max_ns = o.max_ns;
+  }
+
+  void clear() noexcept { *this = histogram{}; }
+
+  [[nodiscard]] bool empty() const noexcept { return count == 0; }
+
+  /// Value at quantile `q` in [0, 1]: the representative value of the
+  /// bucket holding the ceil(q * count)-th sample, clamped by the exact
+  /// max.  Zero on an empty histogram.  Monotone non-decreasing in q.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept
+  {
+    if (count == 0)
+      return 0;
+    if (q < 0.0)
+      q = 0.0;
+    if (q > 1.0)
+      q = 1.0;
+    std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+    if (rank < 1)
+      rank = 1;
+    if (rank > count)
+      rank = count;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i != n_buckets; ++i) {
+      seen += counts[i];
+      if (seen >= rank) {
+        std::uint64_t const v = bucket_value(i);
+        return v < max_ns ? v : max_ns;
+      }
+    }
+    return max_ns;
+  }
+
+  [[nodiscard]] std::uint64_t p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] std::uint64_t p90() const noexcept { return quantile(0.90); }
+  [[nodiscard]] std::uint64_t p99() const noexcept { return quantile(0.99); }
+  [[nodiscard]] std::uint64_t p999() const noexcept { return quantile(0.999); }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_ns; }
+
+  /// Window delta of two cumulative snapshots (cur recorded everything old
+  /// did plus the window): bucket-wise subtraction, clamped at zero so a
+  /// reset between snapshots degrades to "cur is the window".  The window
+  /// max is approximated by the highest non-empty delta bucket's upper
+  /// bound, clamped by cur's exact max.
+  [[nodiscard]] static histogram delta(histogram const& cur,
+                                       histogram const& old) noexcept
+  {
+    histogram d;
+    std::size_t top = n_buckets; // no non-empty bucket yet
+    for (std::size_t i = 0; i != n_buckets; ++i) {
+      std::uint64_t const c = cur.counts[i];
+      std::uint64_t const o = old.counts[i];
+      d.counts[i] = c > o ? c - o : 0;
+      if (d.counts[i] != 0) {
+        d.count += d.counts[i];
+        top = i;
+      }
+    }
+    d.sum_ns = cur.sum_ns > old.sum_ns ? cur.sum_ns - old.sum_ns : 0;
+    if (top != n_buckets) {
+      std::uint64_t const hi = bucket_upper(top);
+      d.max_ns = hi < cur.max_ns ? hi : cur.max_ns;
+    }
+    return d;
+  }
+};
+
+using histogram_set = std::array<histogram, op_count>;
+
+// ---------------------------------------------------------------------------
+// Recording
+// ---------------------------------------------------------------------------
+
+namespace latency_detail {
+extern std::atomic<bool> g_enabled;
+} // namespace latency_detail
+
+/// Whether latency recording is on — the only cost paid by a disabled
+/// timed_op site.
+[[nodiscard]] inline bool enabled() noexcept
+{
+  return latency_detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns recording on/off.  Off is the default: the timed-op sites in the
+/// runtime core then cost one relaxed atomic load each.
+void enable() noexcept;
+void disable() noexcept;
+
+/// Global reset epoch: bumping it (metrics::reset_all does) lazily clears
+/// every thread's recorders and re-baselines armed samplers, so
+/// back-to-back bench sections do not bleed quantiles into each other.
+[[nodiscard]] std::uint64_t reset_epoch() noexcept;
+
+/// Bumps the reset epoch and clears the process-wide accumulator.  Called
+/// by metrics::reset_all(); also callable directly.
+void reset();
+
+/// Records one sample into the calling thread's histogram for `o`.
+/// Wait-free (single-writer); records even when `enabled()` is false —
+/// the flag gates the timed_op sites, not direct feeds.
+void record_ns(op o, std::uint64_t ns) noexcept;
+
+/// Copy of the calling thread's histogram for `o` (empty if this thread
+/// never recorded or a reset intervened).
+[[nodiscard]] histogram local_snapshot(op o);
+
+/// All families of the calling thread in one copy.
+[[nodiscard]] histogram_set local_snapshots();
+
+/// Folds the calling thread's recorders into the process-wide accumulator
+/// and clears them.  Called once per location at the end of every
+/// stapl::execute (mirrors metrics::fold_into_process).
+void fold_into_process();
+
+/// Process-wide accumulated histogram across completed executions — what
+/// bench_common's "latency" JSON section reports.
+[[nodiscard]] histogram process_histogram(op o);
+
+/// Monotonic nanosecond clock used by timed_op.
+[[nodiscard]] inline std::uint64_t now_ns() noexcept
+{
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// RAII emit site: records the scope's duration into the calling thread's
+/// histogram for `o`.  Disabled cost is one relaxed atomic load (no clock
+/// read).
+class timed_op {
+ public:
+  explicit timed_op(op o) noexcept : m_op(o), m_active(enabled())
+  {
+    if (m_active)
+      m_start = now_ns();
+  }
+
+  timed_op(timed_op const&) = delete;
+  timed_op& operator=(timed_op const&) = delete;
+
+  /// Drops the measurement (e.g. a path that turned out to be a no-op).
+  void cancel() noexcept { m_active = false; }
+
+  ~timed_op()
+  {
+    if (m_active)
+      record_ns(m_op, now_ns() - m_start);
+  }
+
+ private:
+  op m_op;
+  bool m_active;
+  std::uint64_t m_start = 0;
+};
+
+} // namespace latency
+
+// ---------------------------------------------------------------------------
+// metrics::sampler — steady-state time series of snapshot deltas
+// ---------------------------------------------------------------------------
+
+namespace metrics {
+
+/// One captured window.
+struct sample_point {
+  std::uint64_t t_ms = 0;  ///< milliseconds since arm()
+  std::string label;       ///< caller-supplied window tag (steady/wave/...)
+
+  /// Window quantiles of one operation family.
+  struct op_window {
+    std::uint64_t count = 0;
+    std::uint64_t p50_ns = 0;
+    std::uint64_t p90_ns = 0;
+    std::uint64_t p99_ns = 0;
+    std::uint64_t p999_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+  std::array<op_window, latency::op_count> ops{};
+
+  counter_map counters;  ///< counter deltas over the window (non-zero only)
+};
+
+/// Captures timestamped deltas of cumulative global state into an
+/// in-memory time series.  The caller owns the cadence: arm() once, then
+/// feed push() one cumulative (counters, histograms) pair per window —
+/// the collective wrapper metrics::sample_global (runtime.hpp) gathers
+/// those globally and pushes on location 0.  A metrics::reset_all()
+/// between pushes re-baselines instead of producing negative windows.
+class sampler {
+ public:
+  /// Clears the series, stamps t0 and zeroes the baselines.
+  void arm()
+  {
+    m_armed = true;
+    m_epoch = latency::reset_epoch();
+    m_t0 = std::chrono::steady_clock::now();
+    m_last_counters.clear();
+    for (auto& h : m_last_hists)
+      h.clear();
+    m_series.clear();
+  }
+
+  [[nodiscard]] bool armed() const noexcept { return m_armed; }
+
+  /// Appends one window: deltas of `cumulative_counters` and
+  /// `cumulative_hists` against the previous push (or the arm() baseline).
+  void push(counter_map const& cumulative_counters,
+            latency::histogram_set const& cumulative_hists,
+            std::string label = {})
+  {
+    if (!m_armed)
+      arm();
+    if (m_epoch != latency::reset_epoch()) {
+      // A reset_all() intervened: the cumulative state restarted from
+      // zero, so restart the baseline too instead of clamping everything.
+      m_epoch = latency::reset_epoch();
+      m_last_counters.clear();
+      for (auto& h : m_last_hists)
+        h.clear();
+    }
+
+    sample_point p;
+    p.t_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - m_t0)
+            .count());
+    p.label = std::move(label);
+
+    for (auto const& [k, v] : cumulative_counters) {
+      if (k.rfind("lat.", 0) == 0)
+        continue; // families are reported through p.ops, properly merged
+      auto const it = m_last_counters.find(k);
+      std::uint64_t const old = it == m_last_counters.end() ? 0 : it->second;
+      if (v > old)
+        p.counters[k] = v - old;
+    }
+
+    for (std::size_t i = 0; i != latency::op_count; ++i) {
+      auto const w =
+          latency::histogram::delta(cumulative_hists[i], m_last_hists[i]);
+      p.ops[i] = {w.count, w.p50(), w.p90(), w.p99(), w.p999(), w.max()};
+    }
+
+    m_last_counters = cumulative_counters;
+    m_last_hists = cumulative_hists;
+    m_series.push_back(std::move(p));
+  }
+
+  [[nodiscard]] std::vector<sample_point> const& series() const noexcept
+  {
+    return m_series;
+  }
+
+  /// The "timeseries" JSON array: one object per window with timestamp,
+  /// label, per-family window quantiles (families with samples only) and
+  /// non-zero counter deltas.
+  [[nodiscard]] std::string to_json() const
+  {
+    auto quote = [](std::string const& s) {
+      std::string out = "\"";
+      for (char c : s) {
+        if (c == '"' || c == '\\')
+          out += '\\';
+        out += c;
+      }
+      return out + "\"";
+    };
+    std::string out = "[";
+    bool first = true;
+    for (auto const& p : m_series) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    {\"t_ms\": " + std::to_string(p.t_ms) +
+             ", \"label\": " + quote(p.label) + ", \"ops\": {";
+      bool fo = true;
+      for (std::size_t i = 0; i != latency::op_count; ++i) {
+        auto const& w = p.ops[i];
+        if (w.count == 0)
+          continue;
+        if (!fo)
+          out += ", ";
+        fo = false;
+        out += quote(latency::name_of(static_cast<latency::op>(i))) +
+               ": {\"count\": " + std::to_string(w.count) +
+               ", \"p50_ns\": " + std::to_string(w.p50_ns) +
+               ", \"p90_ns\": " + std::to_string(w.p90_ns) +
+               ", \"p99_ns\": " + std::to_string(w.p99_ns) +
+               ", \"p999_ns\": " + std::to_string(w.p999_ns) +
+               ", \"max_ns\": " + std::to_string(w.max_ns) + "}";
+      }
+      out += "}, \"counters\": {";
+      bool fc = true;
+      for (auto const& [k, v] : p.counters) {
+        if (!fc)
+          out += ", ";
+        fc = false;
+        out += quote(k) + ": " + std::to_string(v);
+      }
+      out += "}}";
+    }
+    return out + "\n  ]";
+  }
+
+ private:
+  bool m_armed = false;
+  std::uint64_t m_epoch = 0;
+  std::chrono::steady_clock::time_point m_t0{};
+  counter_map m_last_counters;
+  latency::histogram_set m_last_hists{};
+  std::vector<sample_point> m_series;
+};
+
+} // namespace metrics
+
+} // namespace stapl
+
+#endif

@@ -97,9 +97,11 @@ void execute(runtime_config const& cfg, std::function<void()> spmd)
       if (!first_error)
         first_error = std::current_exception();
     }
-    // Preserve this execution's counters for the process-wide accumulator
-    // (what bench_common embeds in its JSON) before the thread dies.
+    // Preserve this execution's counters and latency histograms for the
+    // process-wide accumulators (what bench_common embeds in its JSON)
+    // before the thread dies.
     metrics::fold_into_process(metrics::snapshot());
+    latency::fold_into_process();
     metrics::unregister_contributor(runtime_contributor);
     trace::detach();
     tl_location = invalid_location;

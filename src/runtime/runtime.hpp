@@ -22,6 +22,7 @@
 // semantics follow Ch. VII.B.
 
 #include "instrument.hpp"
+#include "latency.hpp"
 #include "serialization.hpp"
 #include "types.hpp"
 
@@ -451,10 +452,13 @@ template <typename Obj>
 
 } // namespace runtime_detail
 
-/// Drives communication progress on the calling location.
-inline void rmi_poll()
+/// Drives communication progress on the calling location.  Returns whether
+/// any request was executed — pacing loops that poll while ahead of
+/// schedule should yield when it reports no work, or on oversubscribed
+/// cores the busy-wait starves the locations doing real serving.
+inline bool rmi_poll()
 {
-  (void)runtime_detail::poll_once();
+  return runtime_detail::poll_once();
 }
 
 /// Records a locally resolved container method in the performance-monitor
@@ -733,6 +737,9 @@ template <typename Obj, typename F, typename... Args>
     return std::invoke(f, *o, std::move(args)...);
   }
 
+  // Remote round trip from here on — the tail-latency-relevant part.
+  latency::timed_op lat_scope(latency::op::rmi_sync);
+
   if (current_transport() == transport_kind::direct) {
     auto& self = rt().loc(this_location());
     self.stats.rmis_sent += 1;
@@ -900,17 +907,66 @@ template <typename T>
 namespace metrics {
 
 /// Collective: the union of every location's `snapshot()`, counters summed
-/// by name.  Must be called by all locations (it reduces over the exchange
-/// protocol).  This is the one map that surfaces all stats families —
-/// runtime, task-graph, directory, load-balancer, idle time — plus the
-/// byte counters.
+/// by name (latency gauge keys — quantiles, max — merge by max instead;
+/// see `sums_on_merge`).  Must be called by all locations (it reduces over
+/// the exchange protocol).  This is the one map that surfaces all stats
+/// families — runtime, task-graph, directory, load-balancer, idle time —
+/// plus the byte counters and per-family latency keys.
 [[nodiscard]] inline counter_map global_snapshot()
 {
   return allreduce(snapshot(), [](counter_map a, counter_map const& b) {
-    for (auto const& [k, v] : b)
-      a[k] += v;
+    for (auto const& [k, v] : b) {
+      if (sums_on_merge(k))
+        a[k] += v;
+      else if (v > a[k])
+        a[k] = v;
+    }
     return a;
   });
+}
+
+} // namespace metrics
+
+namespace latency {
+
+/// Collective: the bucket-wise merge of every location's histogram for `o`
+/// — exactly the histogram a single recorder would hold had it seen every
+/// location's samples.  Must be called by all locations.
+[[nodiscard]] inline histogram global_histogram(op o)
+{
+  return allreduce(local_snapshot(o), [](histogram a, histogram const& b) {
+    a.merge(b);
+    return a;
+  });
+}
+
+/// Collective: all families merged at once (one exchange round).
+[[nodiscard]] inline histogram_set global_histograms()
+{
+  return allreduce(local_snapshots(),
+                   [](histogram_set a, histogram_set const& b) {
+                     for (std::size_t i = 0; i != op_count; ++i)
+                       a[i].merge(b[i]);
+                     return a;
+                   });
+}
+
+} // namespace latency
+
+namespace metrics {
+
+/// Collective window capture: merges every location's cumulative counters
+/// and latency histograms and pushes one sample into `s` on location 0
+/// (the sampler lives wherever the bench declared it; only location 0
+/// touches it).  Call at window boundaries from all locations — typically
+/// right after the quiescing work of the window, never from per-location
+/// timers (the exchange protocol needs everyone).
+inline void sample_global(sampler& s, std::string const& label = {})
+{
+  auto const counters = global_snapshot();
+  auto const hists = latency::global_histograms();
+  if (this_location() == 0)
+    s.push(counters, hists, label);
 }
 
 } // namespace metrics

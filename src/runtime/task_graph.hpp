@@ -692,6 +692,7 @@ class task_graph : public p_object {
     task const& tk = m_tasks[item.id];
     E result = [&] {
       trace::trace_scope run_scope(trace::event_kind::task_run, item.id);
+      latency::timed_op lat_scope(latency::op::tg_task);
       return tk.work(item.inputs, item.payload);
     }();
 

@@ -411,6 +411,149 @@ TEST(InstrumentTest, DumpRoundTripsThroughJsonParser)
 }
 
 // ---------------------------------------------------------------------------
+// Kind-mask filtering at emit
+// ---------------------------------------------------------------------------
+
+TEST(InstrumentTest, KindMaskRecordsOnlyMaskedKinds)
+{
+  trace_guard guard;
+  trace::enable(64, /*keep_last=*/false,
+                trace::kind_bit(trace::event_kind::fence) |
+                    trace::kind_bit(trace::event_kind::rebalance_wave));
+  trace::attach(0);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    trace::emit(trace::event_kind::rmi_send, i); // filtered out
+  trace::emit_complete(trace::event_kind::fence, 10, 5, 0);
+  trace::emit_complete(trace::event_kind::rebalance_wave, 20, 7, 3);
+  trace::emit(trace::event_kind::steal_probe, 1); // filtered out
+  trace::detach();
+
+  auto const evs = trace::events(0);
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_EQ(evs[0].kind, trace::event_kind::fence);
+  EXPECT_EQ(evs[1].kind, trace::event_kind::rebalance_wave);
+  // Filtered events are skipped at emit, not dropped-by-overflow.
+  EXPECT_EQ(trace::total_dropped(), 0u);
+
+  // trace_scope consults the mask at construction: a masked-out scope
+  // records nothing either.
+  trace::attach(0);
+  {
+    trace::trace_scope masked_out(trace::event_kind::task_run, 1);
+  }
+  {
+    trace::trace_scope recorded(trace::event_kind::fence, 2);
+  }
+  trace::detach();
+  EXPECT_EQ(trace::events(0).size(), 3u);
+  EXPECT_EQ(trace::events(0).back().kind, trace::event_kind::fence);
+}
+
+TEST(InstrumentTest, DefaultMaskRecordsEveryKind)
+{
+  trace_guard guard;
+  trace::enable(64);
+  for (unsigned k = 0;
+       k < static_cast<unsigned>(trace::event_kind::kind_count_); ++k)
+    EXPECT_TRUE(trace::recording(static_cast<trace::event_kind>(k)));
+}
+
+// ---------------------------------------------------------------------------
+// Streaming sink: incremental flush to disk, no dump-at-end
+// ---------------------------------------------------------------------------
+
+TEST(InstrumentTest, StreamingSinkFlushesRetiredRingsIncrementally)
+{
+  trace_guard guard;
+  std::string const path = "test_instrument_stream.json";
+  trace::enable(8); // tiny ring: forces many mid-run flushes
+  ASSERT_TRUE(trace::stream_to(path));
+  EXPECT_TRUE(trace::streaming());
+
+  trace::attach(0);
+  for (std::uint64_t i = 0; i < 100; ++i)
+    trace::emit(trace::event_kind::rmi_send, i);
+  // 100 events through an 8-slot ring: at least 96 already retired to disk
+  // *during* the run — the opposite of dump-at-end.
+  EXPECT_GE(trace::streamed_events(), 96u);
+  EXPECT_EQ(trace::total_dropped(), 0u) << "no drops while streaming";
+  trace::detach();
+
+  // The file is valid JSON even before close (sealed after every flush).
+  {
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_TRUE(json_parser(buf.str()).accept())
+        << "mid-run streamed file is not well-formed JSON";
+  }
+
+  trace::stream_close();
+  EXPECT_FALSE(trace::streaming());
+  EXPECT_EQ(trace::streamed_events(), 100u)
+      << "stream_close must flush the residual ring contents";
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string const text = buf.str();
+  std::remove(path.c_str());
+
+  EXPECT_TRUE(json_parser(text).accept()) << "streamed file is invalid JSON";
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(text.find("\"rmi_send\""), std::string::npos);
+  // All 100 events are on disk: count the event objects by their arg key.
+  std::size_t occurrences = 0;
+  for (std::size_t pos = 0;
+       (pos = text.find("\"rmi_send\"", pos)) != std::string::npos; ++pos)
+    occurrences += 1;
+  EXPECT_EQ(occurrences, 100u);
+}
+
+TEST(InstrumentTest, StreamedServeStyleRunKeepsEventsUnderKindMask)
+{
+  trace_guard guard;
+  std::string const path = "test_instrument_stream_masked.json";
+  trace::enable(16, /*keep_last=*/false,
+                trace::kind_bit(trace::event_kind::fence) |
+                    trace::kind_bit(trace::event_kind::rebalance_wave) |
+                    trace::kind_bit(trace::event_kind::migration));
+  ASSERT_TRUE(trace::stream_to(path));
+
+  execute(4, [] {
+    p_array<long> pa(256 * num_locations(), 0);
+    load_balancer_config lb_cfg;
+    lb_cfg.imbalance_threshold = 1.05;
+    pa.enable_load_balancing(lb_cfg);
+    // Hammer location 0's elements so the wave migrates something.
+    for (std::size_t i = 0; i < 400; ++i)
+      pa.apply_set(i % 64, [](long& v) { v += 1; });
+    rmi_fence();
+    (void)pa.rebalance();
+    rmi_fence();
+  });
+
+  trace::stream_close();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string const text = buf.str();
+  std::remove(path.c_str());
+
+  EXPECT_TRUE(json_parser(text).accept());
+  EXPECT_NE(text.find("\"fence\""), std::string::npos);
+  EXPECT_NE(text.find("\"rebalance_wave\""), std::string::npos);
+  // The flood kinds were filtered at emit.
+  EXPECT_EQ(text.find("\"rmi_send\""), std::string::npos);
+  EXPECT_EQ(text.find("\"task_run\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
 // Global snapshot: all four families + byte counters in one map
 // ---------------------------------------------------------------------------
 
