@@ -188,6 +188,11 @@ int main(int argc, char** argv)
       full = true;
     else if (std::strcmp(argv[i], "--pmax") == 0 && i + 1 < argc)
       pmax = static_cast<unsigned>(std::atoi(argv[++i]));
+    else if (std::strcmp(argv[i], "--trace-points") == 0)
+      // Keep-last trace ring per sweep point: each point dumps its own
+      // Perfetto timeline (trace_point_<kernel>_<axes>_pP.json), so a
+      // regressed curve point ships the timeline of that exact execution.
+      sc::trace_points_prefix() = "trace_point_";
   }
 
   sc::axes ax;

@@ -131,6 +131,28 @@ struct point_result {
   stapl::metrics::counter_map metrics;  ///< global_snapshot of this execute
 };
 
+/// When nonempty, every sweep point records into a keep-last circular
+/// trace ring and dumps its own Perfetto-loadable timeline to
+/// "<prefix><point-tag>.json" right after the point's execute returns —
+/// so a regressed curve point ships the trace of exactly that execution
+/// (its final window; the ring keeps the newest events).  Set from the
+/// bench's --trace-points flag before run_sweep.
+[[nodiscard]] inline std::string& trace_points_prefix()
+{
+  static std::string prefix;
+  return prefix;
+}
+
+/// Filesystem-safe tag of one sweep point (series key + P, '/'→'_').
+[[nodiscard]] inline std::string point_file_tag(sweep_point const& pt)
+{
+  std::string tag = series_key(pt) + "_p" + std::to_string(pt.p);
+  for (char& c : tag)
+    if (c == '/' || c == ':')
+      c = '_';
+  return tag;
+}
+
 /// Runs one sweep point: a fresh stapl::execute with the point's location
 /// count and transport, the kernel body inside, and the collective metrics
 /// snapshot captured before the threads join.
@@ -139,6 +161,9 @@ struct point_result {
 {
   point_result res;
   res.pt = pt;
+  bool const tracing = !trace_points_prefix().empty();
+  if (tracing)
+    stapl::trace::enable(std::size_t{1} << 14, /*keep_last=*/true);
   std::atomic<double> secs{0.0};
   auto metrics_out = std::make_shared<stapl::metrics::counter_map>();
   stapl::runtime_config cfg;
@@ -154,6 +179,17 @@ struct point_result {
   });
   res.seconds = secs.load();
   res.metrics = std::move(*metrics_out);
+  if (tracing) {
+    std::string const path =
+        trace_points_prefix() + point_file_tag(pt) + ".json";
+    bool const ok = stapl::trace::dump(path);
+    std::printf("# %s %s (%llu events, %llu dropped)\n",
+                ok ? "wrote" : "FAILED to write", path.c_str(),
+                static_cast<unsigned long long>(stapl::trace::total_events()),
+                static_cast<unsigned long long>(stapl::trace::total_dropped()));
+    stapl::trace::disable();
+    stapl::trace::clear();
+  }
   return res;
 }
 

@@ -1,0 +1,33 @@
+#include "collectives.hpp"
+
+#include <atomic>
+
+namespace stapl {
+namespace coll {
+
+namespace {
+
+std::atomic<mode> g_mode{mode::auto_select};
+std::atomic<unsigned> g_flat_threshold{4};
+
+} // namespace
+
+mode get_mode() noexcept { return g_mode.load(std::memory_order_relaxed); }
+
+void set_mode(mode m) noexcept
+{
+  g_mode.store(m, std::memory_order_relaxed);
+}
+
+unsigned flat_threshold() noexcept
+{
+  return g_flat_threshold.load(std::memory_order_relaxed);
+}
+
+void set_flat_threshold(unsigned p) noexcept
+{
+  g_flat_threshold.store(p, std::memory_order_relaxed);
+}
+
+} // namespace coll
+} // namespace stapl

@@ -267,9 +267,12 @@ using counter_map = std::map<std::string, std::uint64_t>;
 /// Latency quantile keys ("lat.<family>.p99_ns" etc.) are gauges: summing
 /// four locations' p99s is meaningless, so cross-location merges take the
 /// max instead and the process accumulator recomputes them from the exact
-/// merged histograms.  Counts and sums stay additive.
+/// merged histograms.  "coll.tree_depth" is likewise a gauge (the deepest
+/// tree any location drove).  Counts and sums stay additive.
 [[nodiscard]] inline bool sums_on_merge(std::string const& key) noexcept
 {
+  if (key == "coll.tree_depth")
+    return false;
   if (key.rfind("lat.", 0) != 0)
     return true;
   auto const ends_with = [&key](char const* suffix) {

@@ -71,6 +71,13 @@ void execute(runtime_config const& cfg, std::function<void()> spmd)
           m["rmi.fences"] += s.fences;
           m["rmi.rmi_bytes"] += s.rmi_bytes;
           m["rmi.msg_bytes"] += s.msg_bytes;
+          m["coll.ops"] += s.coll_ops;
+          m["coll.rounds"] += s.coll_rounds;
+          if (m["coll.tree_depth"] < s.coll_depth)
+            m["coll.tree_depth"] = s.coll_depth; // gauge: deepest tree
+          m["coll.flat_fallbacks"] += s.coll_flat;
+          m["coll.agg_batches"] += s.agg_batches;
+          m["coll.agg_bytes"] += s.agg_batch_bytes;
           metrics::idle_counters const& i = metrics::idle();
           m["idle.spins"] += i.spins;
           m["idle.sleeps"] += i.sleeps;

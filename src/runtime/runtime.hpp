@@ -53,6 +53,11 @@ struct runtime_config {
   /// Number of RMIs aggregated into a single "network" message (Ch. III.B:
   /// the RTS packs multiple requests to a given location into one message).
   unsigned aggregation = 16;
+  /// Byte cap of one aggregation buffer: a destination's buffer flushes as
+  /// soon as its marshaled payload reaches this many bytes, even when the
+  /// RMI count is still below `aggregation` — large payloads should not
+  /// sit in the buffer waiting for company.
+  std::size_t agg_max_bytes = 4096;
 };
 
 /// Per-location communication statistics (performance monitor).
@@ -65,6 +70,12 @@ struct location_stats {
   std::uint64_t fences = 0;         ///< rmi_fence invocations
   std::uint64_t rmi_bytes = 0;      ///< marshaled payload bytes of sent RMIs
   std::uint64_t msg_bytes = 0;      ///< payload bytes of flushed messages
+  std::uint64_t coll_ops = 0;       ///< tree-path collective operations
+  std::uint64_t coll_rounds = 0;    ///< communication rounds across tree ops
+  std::uint64_t coll_depth = 0;     ///< deepest tree seen (gauge, max-merged)
+  std::uint64_t coll_flat = 0;      ///< collectives on the flat fallback
+  std::uint64_t agg_batches = 0;    ///< flushed messages carrying >1 RMI
+  std::uint64_t agg_batch_bytes = 0; ///< payload bytes of those batches
 
   location_stats& operator+=(location_stats const& o) noexcept
   {
@@ -76,6 +87,13 @@ struct location_stats {
     fences += o.fences;
     rmi_bytes += o.rmi_bytes;
     msg_bytes += o.msg_bytes;
+    coll_ops += o.coll_ops;
+    coll_rounds += o.coll_rounds;
+    if (coll_depth < o.coll_depth)
+      coll_depth = o.coll_depth; // gauge, not additive
+    coll_flat += o.coll_flat;
+    agg_batches += o.agg_batches;
+    agg_batch_bytes += o.agg_batch_bytes;
     return *this;
   }
 };
@@ -223,6 +241,19 @@ class object_registry {
   std::unordered_map<rmi_handle, void*> m_objects;
 };
 
+/// One slot of the tree-collective cell array (see collectives.hpp).  A
+/// publisher stores a pointer to its local data and then the operation
+/// token into `seq` (release); the single designated reader spins on `seq`,
+/// copies the data out, and stores the token into `ack` — only then may the
+/// publisher reuse or destroy the pointed-to data.  Tokens are the
+/// per-location count of tree collectives, identical on every location by
+/// SPMD order, so a cell never needs resetting between operations.
+struct alignas(64) coll_cell {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint64_t> ack{0};
+  void const* data = nullptr;
+};
+
 struct location_state {
   inbox in;
   object_registry registry;
@@ -234,8 +265,15 @@ struct location_state {
   /// marshaled payload bytes pending in each aggregation buffer
   std::vector<std::uint64_t> agg_bytes;
   location_stats stats;
-  /// scratch slot for collective operations (value exchange protocol)
+  /// scratch slot for collective operations (flat value-exchange protocol)
   void const* slot = nullptr;
+  /// tree-collective cells: index 0 is the remainder pre-fold, 1+r is
+  /// doubling/binomial round r (masks fit 32 rounds), the last is the
+  /// remainder post-fold
+  static constexpr unsigned num_coll_cells = 40;
+  coll_cell cells[num_coll_cells];
+  /// count of tree collectives entered (the cell-protocol token)
+  std::uint64_t coll_token = 0;
 };
 
 class runtime_impl {
@@ -336,20 +374,32 @@ inline void reset_my_stats() noexcept
 
 namespace runtime_detail {
 
+/// Hands one destination's aggregation buffer to its inbox as a single
+/// message, updating the message and batching counters.
+inline void flush_dest(location_state& self, location_id d)
+{
+  auto& buf = self.agg[d];
+  self.stats.msgs_sent += 1;
+  self.stats.msg_bytes += self.agg_bytes[d];
+  if (buf.size() > 1) {
+    // A coalesced message: several RMIs paid one delivery.
+    self.stats.agg_batches += 1;
+    self.stats.agg_batch_bytes += self.agg_bytes[d];
+  }
+  self.agg_bytes[d] = 0;
+  STAPL_TRACE(trace::event_kind::msg_flush, buf.size());
+  rt().loc(d).in.push_batch(std::move(buf));
+  buf.clear();
+}
+
 /// Flushes this location's outgoing aggregation buffers.
 inline void flush_aggregation()
 {
   auto& self = rt().loc(tl_location);
   for (location_id d = 0; d < rt().num_locations(); ++d) {
-    auto& buf = self.agg[d];
-    if (buf.empty())
+    if (self.agg[d].empty())
       continue;
-    self.stats.msgs_sent += 1;
-    self.stats.msg_bytes += self.agg_bytes[d];
-    self.agg_bytes[d] = 0;
-    STAPL_TRACE(trace::event_kind::msg_flush, buf.size());
-    rt().loc(d).in.push_batch(std::move(buf));
-    buf.clear();
+    flush_dest(self, d);
   }
 }
 
@@ -426,14 +476,9 @@ inline void enqueue_remote(location_id dest, request r, std::size_t bytes = 0)
   rt().total_sent.fetch_add(1, std::memory_order_acq_rel);
   auto& buf = self.agg[dest];
   buf.push_back(std::move(r));
-  if (buf.size() >= rt().config().aggregation) {
-    self.stats.msgs_sent += 1;
-    self.stats.msg_bytes += self.agg_bytes[dest];
-    self.agg_bytes[dest] = 0;
-    STAPL_TRACE(trace::event_kind::msg_flush, buf.size());
-    rt().loc(dest).in.push_batch(std::move(buf));
-    buf.clear();
-  }
+  if (buf.size() >= rt().config().aggregation ||
+      self.agg_bytes[dest] >= rt().config().agg_max_bytes)
+    flush_dest(self, dest);
 }
 
 /// Looks up a registered object on `loc`, spinning until it appears (bounded
@@ -828,14 +873,22 @@ template <typename Obj, typename F, typename... Args>
 }
 
 // ---------------------------------------------------------------------------
-// Collective operations (Ch. III.B: broadcast, reduce, fence; plus scans)
+// Collective operations (Ch. III.B) — flat value-exchange protocol
 // ---------------------------------------------------------------------------
+//
+// `exchange` is the O(P)-reads-per-participant protocol: every location
+// publishes a pointer, a barrier makes all pointers visible, everyone reads
+// what it needs, and a second barrier releases the slots.  It remains the
+// small-P fallback and the basis of exclusive_scan; the public allreduce /
+// broadcast / reduce / allgather dispatchers live in collectives.hpp
+// (included at the bottom of this header) and switch between this protocol
+// and the tree engine.
 
 namespace runtime_detail {
 
-/// Value-exchange protocol: every location publishes a pointer to its local
-/// value, a barrier makes all pointers visible, every location reads what it
-/// needs, and a second barrier releases the slots.
+/// Value-exchange protocol (see above).  Note the two barriers make every
+/// flat collective a location barrier as a side effect; the tree
+/// collectives deliberately do not provide that — no caller relies on it.
 template <typename T, typename Reader>
 void exchange(T const& mine, Reader reader)
 {
@@ -847,29 +900,28 @@ void exchange(T const& mine, Reader reader)
   self.slot = nullptr;
 }
 
-} // namespace runtime_detail
-
-/// All-reduce over all locations: every location receives op-combined value.
+/// Flat all-reduce.  Folds all P slots in rank order 0..P-1 on every
+/// location, so the result is identical everywhere and agrees with the
+/// tree engine even for non-commutative associative operators (the
+/// recursive-doubling combine preserves rank order) — auto-select mode
+/// never changes an answer by switching engines.
 template <typename T, typename BinaryOp>
-[[nodiscard]] T allreduce(T const& value, BinaryOp op)
+[[nodiscard]] T flat_allreduce(T const& value, BinaryOp op)
 {
-  using namespace runtime_detail;
   T result = value;
   exchange(value, [&] {
-    for (location_id l = 0; l < rt().num_locations(); ++l) {
-      if (l == tl_location)
-        continue;
-      result = op(result, *static_cast<T const*>(rt().loc(l).slot));
-    }
+    result = *static_cast<T const*>(rt().loc(0).slot);
+    for (location_id l = 1; l < rt().num_locations(); ++l)
+      result = op(std::move(result),
+                  *static_cast<T const*>(rt().loc(l).slot));
   });
   return result;
 }
 
-/// Broadcast from `root` to all locations.
+/// Flat broadcast from `root`.
 template <typename T>
-[[nodiscard]] T broadcast(location_id root, T const& value)
+[[nodiscard]] T flat_broadcast(location_id root, T const& value)
 {
-  using namespace runtime_detail;
   T result{};
   exchange(value, [&] {
     result = *static_cast<T const*>(rt().loc(root).slot);
@@ -877,8 +929,44 @@ template <typename T>
   return result;
 }
 
+/// Flat reduce-to-root.  Folds in rank order rotated to start at `root`
+/// (matching the binomial tree's combine order, so flat and tree agree
+/// even for non-commutative associative operators).
+template <typename T, typename BinaryOp>
+[[nodiscard]] T flat_reduce(location_id root, T const& value, BinaryOp op)
+{
+  T result = value;
+  exchange(value, [&] {
+    if (tl_location != root)
+      return;
+    unsigned const p = rt().num_locations();
+    result = *static_cast<T const*>(rt().loc(root).slot);
+    for (unsigned i = 1; i < p; ++i) {
+      location_id const l = (root + i) % p;
+      result = op(result, *static_cast<T const*>(rt().loc(l).slot));
+    }
+  });
+  return result;
+}
+
+/// Flat allgather.
+template <typename T>
+[[nodiscard]] std::vector<T> flat_allgather(T const& value)
+{
+  std::vector<T> result(rt().num_locations());
+  exchange(value, [&] {
+    for (location_id l = 0; l < rt().num_locations(); ++l)
+      result[l] = *static_cast<T const*>(rt().loc(l).slot);
+  });
+  return result;
+}
+
+} // namespace runtime_detail
+
 /// Exclusive prefix over location ids: location i receives
-/// op(value_0, ..., value_{i-1}); location 0 receives `identity`.
+/// op(value_0, ..., value_{i-1}); location 0 receives `identity`.  Stays on
+/// the flat protocol: every location reads every lower rank's value anyway,
+/// so a tree saves nothing.
 template <typename T, typename BinaryOp>
 [[nodiscard]] T exclusive_scan(T const& value, BinaryOp op, T identity)
 {
@@ -891,86 +979,12 @@ template <typename T, typename BinaryOp>
   return result;
 }
 
-/// Gathers one value per location; every location receives the full vector.
-template <typename T>
-[[nodiscard]] std::vector<T> allgather(T const& value)
-{
-  using namespace runtime_detail;
-  std::vector<T> result(rt().num_locations());
-  exchange(value, [&] {
-    for (location_id l = 0; l < rt().num_locations(); ++l)
-      result[l] = *static_cast<T const*>(rt().loc(l).slot);
-  });
-  return result;
-}
-
-namespace metrics {
-
-/// Collective: the union of every location's `snapshot()`, counters summed
-/// by name (latency gauge keys — quantiles, max — merge by max instead;
-/// see `sums_on_merge`).  Must be called by all locations (it reduces over
-/// the exchange protocol).  This is the one map that surfaces all stats
-/// families — runtime, task-graph, directory, load-balancer, idle time —
-/// plus the byte counters and per-family latency keys.
-[[nodiscard]] inline counter_map global_snapshot()
-{
-  return allreduce(snapshot(), [](counter_map a, counter_map const& b) {
-    for (auto const& [k, v] : b) {
-      if (sums_on_merge(k))
-        a[k] += v;
-      else if (v > a[k])
-        a[k] = v;
-    }
-    return a;
-  });
-}
-
-} // namespace metrics
-
-namespace latency {
-
-/// Collective: the bucket-wise merge of every location's histogram for `o`
-/// — exactly the histogram a single recorder would hold had it seen every
-/// location's samples.  Must be called by all locations.
-[[nodiscard]] inline histogram global_histogram(op o)
-{
-  return allreduce(local_snapshot(o), [](histogram a, histogram const& b) {
-    a.merge(b);
-    return a;
-  });
-}
-
-/// Collective: all families merged at once (one exchange round).
-[[nodiscard]] inline histogram_set global_histograms()
-{
-  return allreduce(local_snapshots(),
-                   [](histogram_set a, histogram_set const& b) {
-                     for (std::size_t i = 0; i != op_count; ++i)
-                       a[i].merge(b[i]);
-                     return a;
-                   });
-}
-
-} // namespace latency
-
-namespace metrics {
-
-/// Collective window capture: merges every location's cumulative counters
-/// and latency histograms and pushes one sample into `s` on location 0
-/// (the sampler lives wherever the bench declared it; only location 0
-/// touches it).  Call at window boundaries from all locations — typically
-/// right after the quiescing work of the window, never from per-location
-/// timers (the exchange protocol needs everyone).
-inline void sample_global(sampler& s, std::string const& label = {})
-{
-  auto const counters = global_snapshot();
-  auto const hists = latency::global_histograms();
-  if (this_location() == 0)
-    s.push(counters, hists, label);
-}
-
-} // namespace metrics
-
 } // namespace stapl
+
+// Tree-structured collectives layer: the public allreduce / broadcast /
+// reduce / allgather dispatchers plus the global metrics/latency merges.
+// Included last so it can use every runtime primitive above; its include
+// guard makes either inclusion order work.
+#include "collectives.hpp"
 
 #endif

@@ -541,19 +541,32 @@ class task_graph : public p_object {
   /// At location 0: one location's owned tasks all completed.
   void handle_quiesced()
   {
-    if (++m_quiesced == this->get_num_locations()) {
-      for (location_id l = 0; l < this->get_num_locations(); ++l) {
-        if (l == this->get_location_id())
-          continue;
-        async_rmi<task_graph>(l, this->get_handle(),
-                              &task_graph::handle_done);
-      }
+    if (++m_quiesced == this->get_num_locations())
       handle_done();
-    }
   }
 
-  /// Everywhere: the whole graph completed; stop scheduling.
-  void handle_done() { m_done.store(true, std::memory_order_release); }
+  /// Everywhere: the whole graph completed; stop scheduling.  Completion
+  /// fans out along a binomial tree rooted at location 0: each location
+  /// relays to the ranks its subtree covers (id + 2^j for every 2^j below
+  /// its own lowest set bit; all of them for location 0), so termination
+  /// reaches P locations in ceil(log2 P) relay hops instead of P-1 sends
+  /// from location 0.
+  void handle_done()
+  {
+    if (m_done.exchange(true, std::memory_order_acq_rel))
+      return;
+    unsigned const p = this->get_num_locations();
+    unsigned const v = this->get_location_id();
+    unsigned limit = 1; // lowest set bit of v; past P for the root
+    while (limit < p && (v & limit) == 0)
+      limit <<= 1;
+    for (unsigned m = limit >> 1; m != 0; m >>= 1) {
+      if (v + m >= p)
+        continue;
+      async_rmi<task_graph>(v + m, this->get_handle(),
+                            &task_graph::handle_done);
+    }
+  }
 
  private:
   struct task {

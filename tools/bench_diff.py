@@ -33,6 +33,14 @@ delta vs previous), and a series whose efficiency at the largest common P
 regressed by more than REGRESSION_PCT emits the same non-blocking
 ``::warning``.  ``--render CUR_DIR`` renders the curve tables of a single
 run without a baseline (the scheduled scaling-full job summary).
+
+BENCH_collectives gets its own curve treatment: the flat
+"<primitive>/p<P>"-keyed latency table is regrouped into one
+latency-vs-P table per primitive (flat_us / tree_us / speedup across the
+swept location counts, deltas vs the baseline when present).  Counter
+directions for the collectives family: ``coll.rounds`` and
+``coll.agg_bytes`` are lower-is-better; ``coll.flat_fallbacks`` (and the
+other shape counters) are informational only.
 """
 
 import json
@@ -46,6 +54,12 @@ LOWER_IS_BETTER_SUFFIXES = ("_s", "_bytes", "_ns", "_us")
 LOWER_IS_BETTER_NAMES = {
     "seconds", "wire_bytes", "spawn_bytes", "rmi_bytes", "msg_bytes",
     "bytes_moved", "steal_fail", "nap_us",
+    # Collectives counters: fewer tree rounds is better; "coll.agg_bytes"
+    # is lower-is-better through the "_bytes" suffix.  "flat_fallbacks",
+    # "tree_depth", "ops" and "agg_batches" are deliberately unlisted —
+    # they track configuration/workload shape, not quality (direction 0,
+    # informational only).
+    "rounds",
 }
 HIGHER_IS_BETTER_NAMES = {"recovery", "speedup", "mops", "reduction",
                           "efficiency"}
@@ -334,6 +348,78 @@ def render_curves(name, cur_bench, prev_bench=None, warn=True):
     return lines
 
 
+COLLECTIVE_TABLE_TITLE = "collective latency vs P (flat vs tree)"
+COLLECTIVE_CURVE_METRICS = ("flat_us", "tree_us", "speedup")
+
+
+def collective_rows(bench):
+    """Point-keyed rows + columns of the collectives latency table, or
+    ({}, []).  Row keys are "<primitive>/p<P>" (bench_collectives.cpp)."""
+    tables = bench.get("tables", []) if isinstance(bench, dict) else []
+    for t in tables:
+        if isinstance(t, dict) and t.get("title") == COLLECTIVE_TABLE_TITLE:
+            return rows_by_key(t), t.get("columns", [])
+    return {}, []
+
+
+def render_collective_curves(name, cur_bench, prev_bench=None):
+    """Per-primitive latency-vs-P curve tables for BENCH_collectives.
+
+    Regroups the flat "<primitive>/p<P>"-keyed rows into one table per
+    primitive — flat_us / tree_us / speedup across the swept location
+    counts, each cell carrying its relative delta when the previous run
+    measured the same point.  Purely presentational: regression warnings
+    on these columns already come from the generic row-matched table diff
+    (flat_us/tree_us lower-better via the "_us" suffix, speedup
+    higher-better), so this renderer never warns.
+    """
+    rows, cols = collective_rows(cur_bench)
+    if not rows or not cols or cols[0] != "point":
+        return []
+    metric_idx = {c: i for i, c in enumerate(cols)}
+    if any(m not in metric_idx for m in COLLECTIVE_CURVE_METRICS):
+        return []
+    prev_rows, _ = collective_rows(prev_bench if prev_bench else {})
+
+    by_prim = {}
+    for key, row in rows.items():
+        prim, sep, ptag = key.rpartition("/p")
+        if not sep or not ptag.isdigit():
+            continue
+        by_prim.setdefault(prim, {})[int(ptag)] = row
+
+    bench = name.removeprefix("BENCH_")
+    lines = []
+    for prim in sorted(by_prim):
+        prows = by_prim[prim]
+        ps = sorted(prows)
+        header = ["metric"] + [f"p={p}" for p in ps]
+        body = []
+        for metric in COLLECTIVE_CURVE_METRICS:
+            i = metric_idx[metric]
+            cells = [metric]
+            for p in ps:
+                row = prows[p]
+                val = row[i] if i < len(row) else None
+                if not isinstance(val, (int, float)):
+                    cells.append("–")
+                    continue
+                old = prev_rows.get(f"{prim}/p{p}")
+                delta = fmt_delta(old[i], val) \
+                    if old is not None and i < len(old) else None
+                text = f"{val:.3g}"
+                cells.append(f"{text} ({delta})" if delta is not None
+                             else text)
+            body.append("| " + " | ".join(cells) + " |")
+        lines += [f"<details><summary><b>{bench}</b> — {prim} latency vs P "
+                  "(flat vs tree)</summary>", "",
+                  "| " + " | ".join(header) + " |",
+                  "|" + "---|" * len(header)]
+        lines += body
+        lines += ["", "</details>", ""]
+    return lines
+
+
 def main(argv=None):
     argv = sys.argv if argv is None else argv
     if len(argv) == 3 and argv[1] == "--render":
@@ -343,6 +429,7 @@ def main(argv=None):
         printed = 0
         for name in sorted(benches):
             lines = render_curves(name, benches[name], None, warn=False)
+            lines += render_collective_curves(name, benches[name])
             if lines:
                 print("\n".join(lines))
                 printed += 1
@@ -421,6 +508,10 @@ def main(argv=None):
         curve_lines = render_curves(name, cur[name], prev[name])
         if curve_lines:
             print("\n".join(curve_lines))
+            printed += 1
+        coll_lines = render_collective_curves(name, cur[name], prev[name])
+        if coll_lines:
+            print("\n".join(coll_lines))
             printed += 1
     if printed == 0:
         print("_No comparable tables found._")
