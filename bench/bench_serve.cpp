@@ -39,6 +39,7 @@
 #include "bench_common.hpp"
 #include "containers/p_associative.hpp"
 #include "core/load_balancer.hpp"
+#include "runtime/fault.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -92,7 +93,13 @@ struct serve_config {
   std::size_t flash_every = 5;         ///< flash-crowd every Nth window
   std::uint64_t window_ns = 400'000'000;  ///< target window length
   double pace = 0.70;                  ///< open-loop rate vs calibrated max
+  bool faults = false;                 ///< --faults: gated chaos windows
+  std::uint64_t fault_seed = 0;
 };
+
+/// Gate bits for the --faults window schedule (plans installed in main).
+inline constexpr std::uint64_t gate_storm = 1;     ///< delay+dup storm
+inline constexpr std::uint64_t gate_straggler = 2; ///< last location stalls
 
 struct window_row {
   std::string label;
@@ -220,6 +227,16 @@ void run_serve(serve_config const& cfg, metrics::sampler& sampler,
     for (std::size_t w = 1; w <= cfg.windows; ++w) {
       bool const wave = cfg.wave_every != 0 && w % cfg.wave_every == 0;
       bool const flash = cfg.flash_every != 0 && w % cfg.flash_every == 0;
+      bool const storm = cfg.faults && w % 3 == 2;
+      bool const straggler = cfg.faults && w % 3 == 0;
+      if (cfg.faults) {
+        // The gate is process-global: one location flips it between the
+        // boundary fences so every location serves the whole window under
+        // the same injection regime.
+        if (this_location() == 0)
+          fault::set_gate(storm ? gate_storm : straggler ? gate_straggler : 0);
+        location_barrier();
+      }
       std::size_t const hot_base = (w * n) / 7; // drifting hotspot
       latency::histogram& class_h = wave ? wave_h : steady_h;
 
@@ -243,10 +260,14 @@ void run_serve(serve_config const& cfg, metrics::sampler& sampler,
       }
 
       rmi_fence();
-      metrics::sample_global(sampler, wave    ? "wave"
-                                      : flash ? "flash"
-                                              : "steady");
+      metrics::sample_global(sampler, storm       ? "storm"
+                                      : straggler ? "straggler"
+                                      : wave      ? "wave"
+                                      : flash     ? "flash"
+                                                  : "steady");
     }
+    if (cfg.faults && this_location() == 0)
+      fault::set_gate(0);
 
     double const serve_s =
         static_cast<double>(latency::now_ns() - serve_t0) / 1e9;
@@ -316,7 +337,40 @@ int main(int argc, char** argv)
       cfg.pace = std::atof(argv[++i]);
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (arg == "--faults" && i + 1 < argc) {
+      cfg.faults = true;
+      cfg.fault_seed = std::strtoull(argv[++i], nullptr, 10);
     }
+  }
+
+  if (cfg.faults) {
+    // Gated chaos plans: the serve loop opens one gate per labelled window
+    // (storm = message delay + duplication everywhere, straggler = the last
+    // location stalls on every poll), so their tail cost lands in named
+    // timeseries rows instead of smearing across the whole run.
+    fault::plan delay;
+    delay.where = fault::site::rmi_enqueue;
+    delay.actions = fault::act_delay;
+    delay.probability = 0.05;
+    delay.delay_polls = 4;
+    delay.gate = gate_storm;
+    fault::add_plan(delay);
+    fault::plan dup;
+    dup.where = fault::site::rmi_enqueue;
+    dup.actions = fault::act_duplicate;
+    dup.probability = 0.05;
+    dup.gate = gate_storm;
+    fault::add_plan(dup);
+    fault::plan stall;
+    stall.where = fault::site::rmi_poll;
+    stall.actions = fault::act_stall;
+    stall.every_n = 1;
+    stall.stall_us = 500;
+    stall.only_location = cfg.locations - 1;
+    stall.gate = gate_straggler;
+    fault::add_plan(stall);
+    fault::set_gate(0);
+    fault::arm(cfg.fault_seed);
   }
 
   std::printf("# Zipf KV serving: open-loop find/apply/insert mix, drifting "
@@ -326,6 +380,12 @@ int main(int argc, char** argv)
               "%zu)\n",
               cfg.locations, cfg.keys, cfg.windows, cfg.wave_every,
               cfg.flash_every);
+  if (cfg.faults)
+    std::printf("# fault injection armed (seed %llu): storm windows w%%3==2 "
+                "(delay+dup p=0.05), straggler windows w%%3==0 (loc %u "
+                "stalls 500us/poll)\n",
+                static_cast<unsigned long long>(cfg.fault_seed),
+                cfg.locations - 1);
 
   latency::enable(); // the whole point of this bench
 
@@ -346,6 +406,11 @@ int main(int argc, char** argv)
   std::mutex m;
   serve_result res;
   run_serve(cfg, sampler, m, res);
+
+  if (cfg.faults) {
+    fault::disarm();
+    fault::clear_plans();
+  }
 
   if (!trace_path.empty()) {
     trace::stream_close();

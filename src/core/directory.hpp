@@ -821,6 +821,7 @@ class directory : public p_object {
   void send_forward(location_id dest, GID const& g, work_item f, bool adopt,
                     location_id requester)
   {
+    STAPL_FAULT_POINT(fault::site::dir_forward);
     if (dest == get_location_id()) {
       handle_forward_exec(g, std::move(f), adopt, requester);
       return;

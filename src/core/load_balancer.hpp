@@ -165,13 +165,21 @@ struct planned_move {
 /// small one of equal hotness, and `max_wave_bytes` (0 = unlimited) caps
 /// the wave's total payload.  Deterministic: called with identical
 /// arguments on every location, it yields the same plan everywhere (ties
-/// break toward the lower location id).
+/// break toward the lower location id).  Locations flagged in
+/// `demoted_mask` (stragglers demoted by the steal-probe detector) are
+/// skipped as receivers for the wave — piling migrated elements onto a
+/// stalled location would convert a slow peer into a hot spot — but still
+/// drain as donors.
 template <typename GID, typename Hash = std::hash<GID>>
 [[nodiscard]] std::vector<planned_move<GID>>
 greedy_plan(std::vector<std::uint64_t> const& loads,
             std::vector<std::vector<hot_candidate<GID>>> const& hot,
-            std::size_t max_moves, std::uint64_t max_wave_bytes = 0)
+            std::size_t max_moves, std::uint64_t max_wave_bytes = 0,
+            std::uint64_t demoted_mask = 0)
 {
+  auto const is_demoted = [demoted_mask](location_id l) {
+    return l < 64 && (demoted_mask & (std::uint64_t{1} << l)) != 0;
+  };
   unsigned const p = static_cast<unsigned>(loads.size());
   std::uint64_t total = 0;
   for (auto l : loads)
@@ -222,7 +230,7 @@ greedy_plan(std::vector<std::uint64_t> const& loads,
         continue;
       location_id r = d;
       for (location_id l = 0; l < p; ++l)
-        if (l != d && (r == d || cur[l] < cur[r]))
+        if (l != d && !is_demoted(l) && (r == d || cur[l] < cur[r]))
           r = l;
       if (r == d)
         break;
@@ -336,8 +344,14 @@ rebalance_report rebalance(C& c, load_balancer_config const& cfg)
   auto const hot = allgather(my_hot);
   std::size_t const max_moves =
       cfg.max_moves != 0 ? cfg.max_moves : cfg.hot_k * num_locations();
-  auto const plan = lb_detail::greedy_plan<gid_type>(loads, hot, max_moves,
-                                                     cfg.max_wave_bytes);
+  // The demotion registry is per-process atomics read at slightly
+  // different instants per location; OR-reducing the views gives every
+  // location the identical mask the deterministic plan requires.
+  std::uint64_t const demoted = allreduce(
+      robust::demoted_mask(),
+      [](std::uint64_t a, std::uint64_t b) { return a | b; });
+  auto const plan = lb_detail::greedy_plan<gid_type>(
+      loads, hot, max_moves, cfg.max_wave_bytes, demoted);
 
   rep.triggered = true;
   rep.moves = plan.size();

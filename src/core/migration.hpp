@@ -41,6 +41,7 @@ void migrate(C& c, typename C::gid_type gid, location_id dest)
 {
   assert(dest < num_locations());
   assert(c.is_dynamic() && "migrate() requires directory-backed resolution");
+  STAPL_FAULT_POINT(fault::site::migration);
   rmi_handle const h = c.get_handle();
   c.get_directory().invoke_where(gid, [h, gid, dest](location_id owner) {
     auto* owner_rep = get_registered_object_at<C>(owner, h);

@@ -74,7 +74,6 @@ namespace coll_detail {
 using runtime_detail::poll_once;
 using runtime_detail::rt;
 using runtime_detail::tl_location;
-using runtime_detail::wait_backoff;
 
 // Cell indices: 0 = remainder pre-fold, 1+r = doubling/binomial round r,
 // last = remainder post-fold.
@@ -132,8 +131,9 @@ inline constexpr unsigned cell_post =
   return ++self.coll_token;
 }
 
-inline void publish(unsigned cell, std::uint64_t token, void const* data) noexcept
+inline void publish(unsigned cell, std::uint64_t token, void const* data)
 {
+  STAPL_FAULT_POINT(fault::site::coll_cell); // stall before the seq release
   auto& c = rt().loc(tl_location).cells[cell];
   c.data = data;
   c.seq.store(token, std::memory_order_release);
@@ -145,7 +145,7 @@ inline void publish(unsigned cell, std::uint64_t token, void const* data) noexce
                                                std::uint64_t token)
 {
   auto& c = rt().loc(peer).cells[cell];
-  wait_backoff bo;
+  runtime_detail::deadline_backoff bo("coll.publish");
   while (c.seq.load(std::memory_order_acquire) != token) {
     if (poll_once())
       bo.reset();
@@ -165,7 +165,7 @@ inline void ack(location_id peer, unsigned cell, std::uint64_t token) noexcept
 inline void await_ack(unsigned cell, std::uint64_t token)
 {
   auto& c = rt().loc(tl_location).cells[cell];
-  wait_backoff bo;
+  runtime_detail::deadline_backoff bo("coll.ack");
   while (c.ack.load(std::memory_order_acquire) != token) {
     if (poll_once())
       bo.reset();

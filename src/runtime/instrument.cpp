@@ -165,6 +165,10 @@ char const* name_of(event_kind k) noexcept
     case event_kind::rebalance_wave:  return "rebalance_wave";
     case event_kind::epoch_advance:   return "epoch_advance";
     case event_kind::tg_execute:      return "tg_execute";
+    case event_kind::fault_inject:    return "fault_inject";
+    case event_kind::watchdog:        return "watchdog";
+    case event_kind::demotion:        return "demotion";
+    case event_kind::repromotion:     return "repromotion";
     case event_kind::kind_count_:     break;
   }
   return "unknown";

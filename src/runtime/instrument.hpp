@@ -67,6 +67,10 @@ enum class event_kind : std::uint8_t {
   rebalance_wave,   ///< one load-balancer wave (scope; arg: moves planned)
   epoch_advance,    ///< container epoch advance (arg: new epoch)
   tg_execute,       ///< task-graph execution phase (scope; arg: tasks run)
+  fault_inject,     ///< fault-layer injection (arg: site<<8 | action bits)
+  watchdog,         ///< hang watchdog fired on this location (arg: 0)
+  demotion,         ///< straggler demoted from steal/balance (arg: location)
+  repromotion,      ///< demoted straggler recovered (arg: location)
   kind_count_       ///< sentinel, keep last
 };
 
@@ -273,6 +277,8 @@ using counter_map = std::map<std::string, std::uint64_t>;
 {
   if (key == "coll.tree_depth")
     return false;
+  if (key == "rmi.inbox_depth" || key == "rmi.deferred_depth")
+    return false; // high-water gauges: the deepest backlog, not a sum
   if (key.rfind("lat.", 0) != 0)
     return true;
   auto const ends_with = [&key](char const* suffix) {
@@ -314,7 +320,7 @@ void add(std::string const& name, std::uint64_t delta);
 void reset_all();
 
 /// Per-thread idle-time counters fed by the runtime's wait loops
-/// (wait_backoff) and the task-graph executor's naps, folded into
+/// (deadline_backoff) and the task-graph executor naps, folded into
 /// snapshots by the runtime contributor.
 struct idle_counters {
   std::uint64_t spins = 0;   ///< yield-phase backoff iterations

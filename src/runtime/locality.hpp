@@ -171,19 +171,28 @@ struct chunk_descriptor {
 /// Steal-probe order for location `me`: peers are ranked by the number of
 /// their stealable chunks annotated cached-at-`me` (warmth — stealing those
 /// re-uses data this location already touched), then by descending
-/// owned-task count, ties toward the lower id.  Pure and deterministic: the
-/// executor computes it from the replicated graph descriptor, and tests
-/// drive it directly.
+/// owned-task count, ties toward the lower id.  Locations flagged in
+/// `demoted_mask` (bit l set: straggler demoted by repeated steal-probe
+/// timeouts, see robust::demoted_mask) rank strictly last regardless of
+/// warmth or load — they are probed only after every healthy peer.  Pure
+/// and deterministic: the executor computes it from the replicated graph
+/// descriptor, and tests drive it directly.
 [[nodiscard]] inline std::vector<location_id>
 steal_victim_order(location_id me, std::vector<std::size_t> const& owned,
-                   std::vector<std::size_t> const& warmth)
+                   std::vector<std::size_t> const& warmth,
+                   std::uint64_t demoted_mask)
 {
+  auto const demoted = [demoted_mask](location_id l) {
+    return l < 64 && (demoted_mask & (std::uint64_t{1} << l)) != 0;
+  };
   std::vector<location_id> order;
   order.reserve(owned.size());
   for (location_id l = 0; l < owned.size(); ++l)
     if (l != me)
       order.push_back(l);
   std::sort(order.begin(), order.end(), [&](location_id a, location_id b) {
+    if (demoted(a) != demoted(b))
+      return !demoted(a); // healthy peers strictly first
     if (warmth[a] != warmth[b])
       return warmth[a] > warmth[b];
     if (owned[a] != owned[b])
@@ -191,6 +200,13 @@ steal_victim_order(location_id me, std::vector<std::size_t> const& owned,
     return a < b;
   });
   return order;
+}
+
+[[nodiscard]] inline std::vector<location_id>
+steal_victim_order(location_id me, std::vector<std::size_t> const& owned,
+                   std::vector<std::size_t> const& warmth)
+{
+  return steal_victim_order(me, owned, warmth, 0);
 }
 
 /// Weight ceiling of one steal grant: the victim grants at most half of

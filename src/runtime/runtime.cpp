@@ -30,7 +30,7 @@ void rmi_fence()
     // poll per location may straddle the barrier release and still send
     // messages.  Wait for those to retire so the counters are frozen and all
     // locations take the same verdict.
-    wait_backoff bo;
+    deadline_backoff bo("rmi.fence");
     while (impl.active_polls.load(std::memory_order_acquire) != 0)
       bo.pause();
     bool const quiesced =
@@ -48,6 +48,12 @@ void execute(runtime_config const& cfg, std::function<void()> spmd)
   assert(g_runtime == nullptr && "nested stapl::execute is not supported");
   assert(cfg.num_locations >= 1);
 
+  // Environment-driven fault arming must precede construction: the impl
+  // latches sequenced delivery off fault::armed().  Straggler demotions do
+  // not survive across executions.
+  fault::init_from_env();
+  robust::reset_demotions();
+
   runtime_impl impl(cfg);
   g_runtime = &impl;
 
@@ -57,9 +63,10 @@ void execute(runtime_config const& cfg, std::function<void()> spmd)
   auto body = [&](location_id id) {
     tl_location = id;
     trace::attach(id);
+    fault::attach(id);
     // The runtime itself is the first metrics contributor on every
     // location: the RTS communication counters plus the idle-time counters
-    // fed by wait_backoff and the executor naps.
+    // fed by deadline_backoff and the executor naps.
     auto const runtime_contributor = metrics::register_contributor(
         [id](metrics::counter_map& m) {
           location_stats const& s = rt().loc(id).stats;
@@ -78,14 +85,34 @@ void execute(runtime_config const& cfg, std::function<void()> spmd)
           m["coll.flat_fallbacks"] += s.coll_flat;
           m["coll.agg_batches"] += s.agg_batches;
           m["coll.agg_bytes"] += s.agg_batch_bytes;
+          if (m["rmi.inbox_depth"] < s.inbox_depth)
+            m["rmi.inbox_depth"] = s.inbox_depth; // gauge: deepest backlog
+          if (m["rmi.deferred_depth"] < s.deferred_hw)
+            m["rmi.deferred_depth"] = s.deferred_hw; // gauge
           metrics::idle_counters const& i = metrics::idle();
           m["idle.spins"] += i.spins;
           m["idle.sleeps"] += i.sleeps;
           m["idle.nap_us"] += i.nap_us;
+          fault::counters const& f = fault::tl_counters();
+          m["fault.injected"] += f.injected;
+          m["fault.delays"] += f.delays;
+          m["fault.dups"] += f.dups;
+          m["fault.reorders"] += f.reorders;
+          m["fault.stalls"] += f.stalls;
+          m["fault.alloc_fails"] += f.alloc_fails;
+          robust::counters const& r = robust::tl();
+          m["robust.retries"] += r.retries;
+          m["robust.dups_suppressed"] += r.dups_suppressed;
+          m["robust.watchdog_dumps"] += r.watchdog_dumps;
+          m["robust.probe_timeouts"] += r.probe_timeouts;
+          m["robust.demotions"] += r.demotions;
+          m["robust.repromotions"] += r.repromotions;
         },
         [id] {
           rt().loc(id).stats = {};
           metrics::idle() = {};
+          fault::tl_counters() = {};
+          robust::tl() = {};
         });
     try {
       spmd();
@@ -110,6 +137,7 @@ void execute(runtime_config const& cfg, std::function<void()> spmd)
     metrics::fold_into_process(metrics::snapshot());
     latency::fold_into_process();
     metrics::unregister_contributor(runtime_contributor);
+    fault::detach();
     trace::detach();
     tl_location = invalid_location;
   };

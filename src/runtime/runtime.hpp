@@ -21,11 +21,13 @@
 // (distributed termination detection), and sync/split-phase acknowledgment
 // semantics follow Ch. VII.B.
 
+#include "fault.hpp"
 #include "instrument.hpp"
 #include "latency.hpp"
 #include "serialization.hpp"
 #include "types.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <chrono>
@@ -41,6 +43,7 @@
 #include <tuple>
 #include <type_traits>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -58,6 +61,16 @@ struct runtime_config {
   /// RMI count is still below `aggregation` — large payloads should not
   /// sit in the buffer waiting for company.
   std::size_t agg_max_bytes = 4096;
+  /// Per-sender sequence numbers + receiver-side duplicate suppression on
+  /// queued delivery (exactly-once under duplication/reordering).  Latched
+  /// on whenever the fault layer is armed; off by default because the
+  /// in-process transports never duplicate.
+  bool sequenced_delivery = false;
+  /// Hard bound on the deferred-retry queue (parked requests whose target
+  /// has not registered yet).  Growth past this means a registration will
+  /// never arrive — the watchdog dumps and the debug build asserts instead
+  /// of letting the queue grow silently.
+  std::size_t max_deferred = std::size_t{1} << 20;
 };
 
 /// Per-location communication statistics (performance monitor).
@@ -76,6 +89,8 @@ struct location_stats {
   std::uint64_t coll_flat = 0;      ///< collectives on the flat fallback
   std::uint64_t agg_batches = 0;    ///< flushed messages carrying >1 RMI
   std::uint64_t agg_batch_bytes = 0; ///< payload bytes of those batches
+  std::uint64_t inbox_depth = 0;    ///< deepest inbox seen (gauge, max-merged)
+  std::uint64_t deferred_hw = 0;    ///< deepest deferred queue (gauge)
 
   location_stats& operator+=(location_stats const& o) noexcept
   {
@@ -94,6 +109,10 @@ struct location_stats {
     coll_flat += o.coll_flat;
     agg_batches += o.agg_batches;
     agg_batch_bytes += o.agg_batch_bytes;
+    if (inbox_depth < o.inbox_depth)
+      inbox_depth = o.inbox_depth; // gauge
+    if (deferred_hw < o.deferred_hw)
+      deferred_hw = o.deferred_hw; // gauge
     return *this;
   }
 };
@@ -106,12 +125,19 @@ namespace runtime_detail {
 /// the message is then deferred and retried on the next poll.
 using request = std::function<bool()>;
 
-/// Backoff for every wait loop of the RTS.  A brief yield phase keeps
-/// latency low when the peer is already running; after that the waiter
-/// sleeps so an oversubscribed core can schedule the peer immediately
-/// instead of burning whole scheduler quanta in a yield storm.
-class wait_backoff {
+/// Deadline-aware backoff for every blocking wait of the RTS.  Starts with
+/// a cheap profile (64 yields, then 50us naps) so uncontended
+/// waits cost the same; a wait that keeps not progressing escalates the nap
+/// x2 every 16 sleeps (capped at 500us) with per-waiter jitter so a herd of
+/// blocked locations does not re-probe in lockstep.  Each escalation counts
+/// as a bounded retry in robust.retries, and once the accumulated napped
+/// time passes the watchdog deadline the wait dumps diagnostics naming
+/// itself (`what`) instead of spinning silently — every converted wait loop
+/// gets hang coverage for free.  Progress resets the profile.
+class deadline_backoff {
  public:
+  explicit deadline_backoff(char const* what) noexcept : m_what(what) {}
+
   void pause() noexcept
   {
     auto& idle = metrics::idle();
@@ -120,14 +146,40 @@ class wait_backoff {
       std::this_thread::yield();
       return;
     }
+    unsigned const j = (m_jitter = m_jitter * 1103515245u + 12345u) >> 28;
+    unsigned const nap = m_sleep_us + (m_sleep_us / 8) * (j % 5); // <= +50%
     idle.sleeps += 1;
-    idle.nap_us += 50;
-    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    idle.nap_us += nap;
+    std::this_thread::sleep_for(std::chrono::microseconds(nap));
+    m_napped_us += nap;
+    if (++m_sleeps_at_tier >= 16 && m_sleep_us < 500) {
+      m_sleep_us = std::min(500u, m_sleep_us * 2);
+      m_sleeps_at_tier = 0;
+      robust::tl().retries += 1;
+    }
+    std::uint64_t const wd = fault::watchdog_ms();
+    if (wd != 0 && m_napped_us > wd * 1000) {
+      fault::watchdog_fire(m_what);
+      m_napped_us = 0; // re-arm: a still-stuck wait dumps again next deadline
+    }
   }
-  void reset() noexcept { m_spins = 0; }
+
+  void reset() noexcept
+  {
+    m_spins = 0;
+    m_sleep_us = 50;
+    m_sleeps_at_tier = 0;
+    m_napped_us = 0;
+  }
 
  private:
+  char const* m_what;
   unsigned m_spins = 0;
+  unsigned m_sleep_us = 50;
+  unsigned m_sleeps_at_tier = 0;
+  std::uint64_t m_napped_us = 0;
+  unsigned m_jitter = static_cast<unsigned>(
+      reinterpret_cast<std::uintptr_t>(this)); // per-waiter LCG seed
 };
 
 /// Sense-reversing barrier across all locations of the execution.  `arrive`
@@ -156,7 +208,7 @@ class spmd_barrier {
   void arrive_and_wait() noexcept
   {
     unsigned const gen = arrive();
-    wait_backoff bo;
+    deadline_backoff bo("rmi.barrier");
     while (!passed(gen))
       bo.pause();
   }
@@ -208,6 +260,13 @@ class inbox {
     return m_count.load(std::memory_order_acquire) == 0;
   }
 
+  /// Current element count (cross-thread readable: used by the inbox-depth
+  /// gauge and the watchdog dump).
+  [[nodiscard]] std::size_t size() const noexcept
+  {
+    return m_count.load(std::memory_order_acquire);
+  }
+
  private:
   mutable std::mutex m_mutex;
   std::deque<request> m_queue;
@@ -254,10 +313,55 @@ struct alignas(64) coll_cell {
   void const* data = nullptr;
 };
 
+/// Receiver-side duplicate-suppression window for one sender (sequenced
+/// delivery).  Sequence numbers at or below `contiguous` have executed; the
+/// sparse `ahead` set holds numbers that executed out of order (injected
+/// reordering) until the gap closes.  Touched only by the owning location's
+/// poll thread, so no synchronization is needed.
+struct dedup_window {
+  std::uint64_t contiguous = 0;
+  std::unordered_set<std::uint64_t> ahead;
+
+  [[nodiscard]] bool is_dup(std::uint64_t s) const
+  {
+    return s <= contiguous || ahead.count(s) != 0;
+  }
+
+  void mark(std::uint64_t s)
+  {
+    if (s == contiguous + 1) {
+      ++contiguous;
+      while (ahead.erase(contiguous + 1) != 0)
+        ++contiguous;
+    } else {
+      ahead.insert(s);
+    }
+  }
+};
+
+/// One sender-side held message (injected delay): delivered to `dest` once
+/// `ttl_polls` of the sender's polls have elapsed.  Poll count is logical
+/// time — deterministic, and fence rounds keep polling, so a held message
+/// can never be stranded.
+struct held_msg {
+  location_id dest = invalid_location;
+  request r;
+  unsigned ttl_polls = 0;
+  std::size_t bytes = 0;
+};
+
 struct location_state {
   inbox in;
   object_registry registry;
   std::deque<request> deferred; ///< requests whose target is not yet registered
+  /// deferred.size() mirror readable from other threads (watchdog dump)
+  std::atomic<std::uint32_t> deferred_depth{0};
+  /// per-destination outgoing sequence numbers (sequenced delivery)
+  std::vector<std::uint64_t> seq_to;
+  /// per-sender duplicate-suppression windows (sequenced delivery)
+  std::vector<dedup_window> dedup;
+  /// messages held back by injected delay, released by this location's polls
+  std::vector<held_msg> held;
   std::uint32_t next_collective_counter = 0;
   std::uint32_t next_local_counter = 0;
   /// outgoing aggregation buffers, one per destination
@@ -286,8 +390,17 @@ class runtime_impl {
     for (auto& l : m_locs) {
       l->agg.resize(cfg.num_locations);
       l->agg_bytes.resize(cfg.num_locations, 0);
+      l->seq_to.resize(cfg.num_locations, 0);
+      l->dedup.resize(cfg.num_locations);
     }
+    // Latched once per execution: arming the fault layer after execute()
+    // starts cannot retroactively sequence in-flight traffic, so arm first.
+    m_sequenced = cfg.sequenced_delivery || fault::armed();
   }
+
+  /// Whether queued delivery carries per-sender sequence numbers with
+  /// receiver-side duplicate suppression (see runtime_config).
+  [[nodiscard]] bool sequenced() const noexcept { return m_sequenced; }
 
   [[nodiscard]] runtime_config const& config() const noexcept { return m_cfg; }
   [[nodiscard]] unsigned num_locations() const noexcept
@@ -311,6 +424,7 @@ class runtime_impl {
   runtime_config m_cfg;
   spmd_barrier m_barrier;
   std::vector<std::unique_ptr<location_state>> m_locs;
+  bool m_sequenced = false;
 };
 
 // Defined in runtime.cpp.
@@ -387,6 +501,9 @@ inline void flush_dest(location_state& self, location_id d)
     self.stats.agg_batch_bytes += self.agg_bytes[d];
   }
   self.agg_bytes[d] = 0;
+  auto const fo = STAPL_FAULT(fault::site::rmi_flush);
+  if ((fo.actions & fault::act_reorder) && buf.size() > 1)
+    std::reverse(buf.begin(), buf.end()); // whole-batch reorder on the wire
   STAPL_TRACE(trace::event_kind::msg_flush, buf.size());
   rt().loc(d).in.push_batch(std::move(buf));
   buf.clear();
@@ -412,7 +529,28 @@ inline bool poll_once()
   } guard;
 
   auto& self = rt().loc(tl_location);
+  STAPL_FAULT_POINT(fault::site::rmi_poll); // straggler nap
   flush_aggregation();
+
+  // Release held (delay-injected) messages whose ttl expired.  Poll count
+  // is logical time: deterministic, and fence rounds keep polling, so every
+  // held message is eventually delivered.
+  if (!self.held.empty()) {
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < self.held.size(); ++i) {
+      if (--self.held[i].ttl_polls == 0) {
+        self.stats.msgs_sent += 1;
+        self.stats.msg_bytes += self.held[i].bytes;
+        rt().loc(self.held[i].dest).in.push(std::move(self.held[i].r));
+      } else {
+        if (w != i)
+          self.held[w] = std::move(self.held[i]);
+        ++w;
+      }
+    }
+    self.held.resize(w);
+  }
+
   bool progressed = false;
 
   // Retry deferred requests first (in order) to preserve FIFO delivery.
@@ -433,6 +571,10 @@ inline bool poll_once()
     self.deferred = std::move(still);
   }
 
+  if (std::size_t const depth = self.in.size();
+      depth > self.stats.inbox_depth)
+    self.stats.inbox_depth = depth;
+
   request r;
   while (self.in.pop(r)) {
     if (r()) {
@@ -442,6 +584,20 @@ inline bool poll_once()
       rt().total_executed.fetch_add(1, std::memory_order_acq_rel);
     } else {
       self.deferred.push_back(std::move(r));
+    }
+  }
+
+  std::size_t const parked = self.deferred.size();
+  self.deferred_depth.store(static_cast<std::uint32_t>(parked),
+                            std::memory_order_relaxed);
+  if (parked > self.stats.deferred_hw) {
+    self.stats.deferred_hw = parked;
+    if (parked > rt().config().max_deferred) {
+      // Parked requests wait for a registration; past the bound that
+      // registration is never coming.  Dump once per crossing, then trap
+      // in debug builds rather than grow silently.
+      fault::watchdog_fire("rmi.deferred_bound");
+      assert(false && "deferred-retry queue exceeded max_deferred");
     }
   }
   return progressed;
@@ -471,11 +627,53 @@ inline void enqueue_remote(location_id dest, request r, std::size_t bytes = 0)
   auto& self = rt().loc(tl_location);
   self.stats.rmis_sent += 1;
   self.stats.rmi_bytes += bytes;
-  self.agg_bytes[dest] += bytes;
   STAPL_TRACE(trace::event_kind::rmi_send, bytes);
   rt().total_sent.fetch_add(1, std::memory_order_acq_rel);
+
+  if (rt().sequenced()) {
+    // Sequenced delivery: wrap the request with this sender's next sequence
+    // number toward `dest`; the receiver's window suppresses duplicates.
+    // The wrapper marks the number only once the inner request completes
+    // (a deferred retry must not be mistaken for a duplicate), and a
+    // suppressed duplicate reports true so the fence counts it executed.
+    std::uint64_t const seq = ++self.seq_to[dest];
+    location_id const src = tl_location;
+    r = [src, seq, inner = std::move(r)]() mutable -> bool {
+      auto& win = rt().loc(tl_location).dedup[src];
+      if (win.is_dup(seq)) {
+        robust::tl().dups_suppressed += 1;
+        return true;
+      }
+      if (!inner())
+        return false;
+      win.mark(seq);
+      return true;
+    };
+  }
+
+  auto const fo = STAPL_FAULT(fault::site::rmi_enqueue);
+  if (fo.actions & fault::act_duplicate) {
+    // The duplicate is a full pending RMI for termination purposes: it was
+    // "sent", and its suppressed delivery will count as executed.
+    self.stats.rmis_sent += 1;
+    rt().total_sent.fetch_add(1, std::memory_order_acq_rel);
+    self.agg[dest].push_back(r); // copy; the original continues below
+  }
+  if (fo.actions & fault::act_delay) {
+    self.held.push_back(
+        {dest, std::move(r), fo.delay_polls != 0 ? fo.delay_polls : 1, bytes});
+    return;
+  }
+
+  self.agg_bytes[dest] += bytes;
   auto& buf = self.agg[dest];
   buf.push_back(std::move(r));
+  if ((fo.actions & fault::act_reorder) && buf.size() >= 2)
+    std::swap(buf[buf.size() - 1], buf[buf.size() - 2]);
+  if (fo.actions & fault::act_alloc_fail) {
+    flush_dest(self, dest); // buffer "allocation failed": degraded batching
+    return;
+  }
   if (buf.size() >= rt().config().aggregation ||
       self.agg_bytes[dest] >= rt().config().agg_max_bytes)
     flush_dest(self, dest);
@@ -487,7 +685,10 @@ inline void enqueue_remote(location_id dest, request r, std::size_t bytes = 0)
 template <typename Obj>
 [[nodiscard]] Obj* lookup_wait(location_id loc, rmi_handle h)
 {
-  wait_backoff bo;
+  // Deadline-covered but non-polling: this can run inside a poll handler
+  // (get_registered_object_at from forwarded work), where re-entering
+  // poll_once would recurse.
+  deadline_backoff bo("rmi.lookup");
   for (;;) {
     if (void* p = rt().loc(loc).registry.lookup(h))
       return static_cast<Obj*>(p);
@@ -572,7 +773,7 @@ inline void polling_barrier_wait()
 {
   auto& b = rt().barrier();
   unsigned const gen = b.arrive();
-  wait_backoff bo;
+  deadline_backoff bo("rmi.barrier");
   while (!b.passed(gen)) {
     if (poll_once())
       bo.reset();
@@ -683,7 +884,7 @@ class pc_future {
   [[nodiscard]] R get()
   {
     assert(valid());
-    runtime_detail::wait_backoff bo;
+    runtime_detail::deadline_backoff bo("rmi.future");
     while (!m_state->ready.load(std::memory_order_acquire)) {
       if (runtime_detail::poll_once())
         bo.reset();
@@ -815,7 +1016,7 @@ template <typename Obj, typename F, typename... Args>
                  },
                  bytes);
   runtime_detail::flush_aggregation();
-  runtime_detail::wait_backoff bo;
+  runtime_detail::deadline_backoff bo("rmi.sync");
   while (!st.done.load(std::memory_order_acquire)) {
     if (runtime_detail::poll_once())
       bo.reset();

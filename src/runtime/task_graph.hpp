@@ -188,6 +188,7 @@ class task_graph : public p_object {
     }
     assert(owner != this->get_location_id() &&
            "a local owner takes its payload through add_task");
+    STAPL_FAULT_POINT(fault::site::tg_payload);
     async_rmi<task_graph>(owner, this->get_handle(),
                           &task_graph::handle_payload, t, std::move(payload));
   }
@@ -307,7 +308,7 @@ class task_graph : public p_object {
   {
     trace::trace_scope phase_scope(trace::event_kind::tg_execute);
     seed();
-    runtime_detail::wait_backoff bo;
+    runtime_detail::deadline_backoff bo("tg.execute");
     if (!m_steal_mode) {
       while (m_local_remaining != 0) {
         if (run_one()) {
@@ -346,6 +347,10 @@ class task_graph : public p_object {
         metrics::idle().sleeps += 1;
         metrics::idle().nap_us += 50;
         std::this_thread::sleep_for(std::chrono::microseconds(50));
+        std::uint64_t const to = robust::probe_timeout_us();
+        if (to != 0 && std::chrono::steady_clock::now() - m_probe_sent >
+                           std::chrono::microseconds(to))
+          on_probe_timeout();
         continue;
       }
       bool drained = false;
@@ -448,8 +453,14 @@ class task_graph : public p_object {
   /// thief while its probe is on the wire).
   void handle_steal_request(location_id thief, std::uint64_t thief_backlog)
   {
+    // An injected grant-buffer allocation failure degrades to a nack: the
+    // thief moves on, the victim keeps its backlog (act_stall naps here,
+    // turning this victim into the straggler the probe-timeout detector
+    // is aimed at).
+    auto const fo = STAPL_FAULT(fault::site::tg_steal);
+    bool const alloc_failed = (fo.actions & fault::act_alloc_fail) != 0;
     std::vector<stolen_task> grants;
-    {
+    if (!alloc_failed) {
       std::lock_guard lock(m_mutex);
       std::vector<std::size_t> stealable;
       std::uint64_t avail_w = 0;
@@ -497,20 +508,26 @@ class task_graph : public p_object {
         m_ready = std::move(keep);
       }
     }
+    // Answers carry the victim's identity: under the direct transport the
+    // handler runs on the *victim's caller thread*, so the thief cannot
+    // recover the answering location any other way — and the straggler
+    // detector needs to know who answered to clear its strikes.
+    location_id const victim = this->get_location_id();
     if (!grants.empty()) {
       async_rmi<task_graph>(thief, this->get_handle(),
                             &task_graph::handle_steal_grant,
-                            std::move(grants));
+                            std::move(grants), victim);
     } else {
       async_rmi<task_graph>(thief, this->get_handle(),
-                            &task_graph::handle_steal_nack);
+                            &task_graph::handle_steal_nack, victim);
     }
   }
 
   /// At the thief: granted tasks (each with its inputs and payload).
-  void handle_steal_grant(std::vector<stolen_task> grants)
+  void handle_steal_grant(std::vector<stolen_task> grants, location_id victim)
   {
     STAPL_TRACE(trace::event_kind::steal_grant, grants.size());
+    note_victim_answered(victim);
     {
       std::lock_guard lock(m_mutex);
       m_stats.tasks_stolen += grants.size();
@@ -526,9 +543,10 @@ class task_graph : public p_object {
 
   /// At the thief: the victim had nothing stealable — move to the next
   /// victim in warmth order (a granting victim keeps being probed).
-  void handle_steal_nack()
+  void handle_steal_nack(location_id victim)
   {
     STAPL_TRACE(trace::event_kind::steal_nack);
+    note_victim_answered(victim);
     {
       std::lock_guard lock(m_mutex);
       m_stats.steal_fail += 1;
@@ -677,7 +695,11 @@ class task_graph : public p_object {
           if (tk.opts.stealable && tk.opts.cached_at == me)
             warmth[tk.owner] += 1;
         }
-        m_victims = steal_victim_order(me, owned, warmth);
+        // Stragglers demoted in an earlier graph of this execution start
+        // at the back of the order; a probe answer re-promotes them.
+        m_victims = steal_victim_order(me, owned, warmth,
+                                       robust::demoted_mask());
+        m_strikes.assign(this->get_num_locations(), 0);
       }
     }
     if (quiesced)
@@ -776,9 +798,63 @@ class task_graph : public p_object {
       }
     }
     STAPL_TRACE(trace::event_kind::steal_probe, victim);
+    m_probe_victim = victim;
+    m_probe_sent = std::chrono::steady_clock::now();
     async_rmi<task_graph>(victim, this->get_handle(),
                           &task_graph::handle_steal_request,
                           this->get_location_id(), backlog);
+  }
+
+  /// A probe answer arrived from `victim`: clear its strikes, and if an
+  /// earlier timeout demoted it, re-promote — the straggler recovered.
+  /// Only the executor thread and its own inbound handlers touch the
+  /// strike table under m_mutex.
+  void note_victim_answered(location_id victim)
+  {
+    bool repromoted = false;
+    {
+      std::lock_guard lock(m_mutex);
+      if (victim < m_strikes.size())
+        m_strikes[victim] = 0;
+    }
+    repromoted = robust::promote(victim);
+    if (repromoted) {
+      robust::tl().repromotions += 1;
+      STAPL_TRACE(trace::event_kind::repromotion, victim);
+    }
+  }
+
+  /// The in-flight probe to m_probe_victim went unanswered past the
+  /// timeout: strike the victim (demoting it after demote_after strikes),
+  /// advance past it, and clear the in-flight flag so scheduling resumes.
+  /// The late answer — probes are never lost on these transports, only
+  /// slow — stays benign: a grant still adds its tasks, a nack advances
+  /// the pointer once more, and either clears the strikes again.
+  void on_probe_timeout()
+  {
+    location_id const victim = m_probe_victim;
+    robust::tl().probe_timeouts += 1;
+    bool demoted_now = false;
+    {
+      std::lock_guard lock(m_mutex);
+      if (victim < m_strikes.size() &&
+          ++m_strikes[victim] >= robust::demote_after())
+        demoted_now = robust::demote(victim);
+      // Give up on the straggler for now: move it to the back of the
+      // probe order and advance, exactly as a nack would.
+      auto it = std::find(m_victims.begin(), m_victims.end(), victim);
+      if (it != m_victims.end())
+        std::rotate(it, it + 1, m_victims.end());
+      m_stats.steal_fail += 1;
+      m_fail_streak += 1;
+      m_victim_idx += 1;
+      m_probe_sent = std::chrono::steady_clock::now(); // re-arm the clock
+    }
+    if (demoted_now) {
+      robust::tl().demotions += 1;
+      STAPL_TRACE(trace::event_kind::demotion, victim);
+    }
+    m_steal_inflight.store(false, std::memory_order_release);
   }
 
   void send_quiesced()
@@ -799,6 +875,12 @@ class task_graph : public p_object {
   std::deque<ready_item> m_ready;
   std::vector<location_id> m_victims;  ///< steal order (warmth, then load)
   std::size_t m_victim_idx = 0;        ///< advances on nack (sticky on grant)
+  /// Straggler detector: per-victim unanswered-probe strikes, plus the
+  /// send time and target of the probe currently in flight (executor
+  /// thread only).
+  std::vector<unsigned> m_strikes;
+  std::chrono::steady_clock::time_point m_probe_sent{};
+  location_id m_probe_victim = invalid_location;
   std::size_t m_local_remaining = 0;
   std::size_t m_fail_streak = 0;
   bool m_started = false;

@@ -60,9 +60,22 @@ LOWER_IS_BETTER_NAMES = {
     # they track configuration/workload shape, not quality (direction 0,
     # informational only).
     "rounds",
+    # Hardening counters: escalated waits and watchdog dumps in a clean
+    # bench run mean something got slower or stuck.
+    "retries", "watchdog_dumps",
 }
 HIGHER_IS_BETTER_NAMES = {"recovery", "speedup", "mops", "reduction",
                           "efficiency"}
+
+# Whole families that describe the injected scenario rather than the
+# code's quality: "fault.*" counts what a chaos plan fired, so any growth
+# is configuration, never a regression — even for keys whose suffix would
+# otherwise be judged (e.g. a future fault.*_us).
+INFORMATIONAL_FAMILIES = ("fault.",)
+# Per-key overrides: suppressed duplicates and straggler bookkeeping scale
+# with the injected storm, not with code quality.
+INFORMATIONAL_NAMES = {"dups_suppressed", "probe_timeouts", "demotions",
+                       "repromotions"}
 
 SWEEP_AXES = ("kernel", "mode", "transport", "steal", "grain", "p", "n")
 
@@ -73,7 +86,11 @@ def column_direction(name):
     Also applied to the embedded metrics-registry keys ("rmi.rmi_bytes",
     "tg.steal_fail", ...): the family prefix is stripped first.
     """
+    if name.startswith(INFORMATIONAL_FAMILIES):
+        return 0
     name = name.rsplit(".", 1)[-1]
+    if name in INFORMATIONAL_NAMES:
+        return 0
     if name in LOWER_IS_BETTER_NAMES or name.endswith(LOWER_IS_BETTER_SUFFIXES):
         return -1
     if name in HIGHER_IS_BETTER_NAMES:

@@ -415,6 +415,49 @@ def test_coll_flat_fallbacks_is_informational():
         assert "::warning" not in err
 
 
+def test_fault_and_robust_counter_directions():
+    # fault.* describes the injected scenario: informational even for keys
+    # whose suffix would otherwise be judged.
+    assert bench_diff.column_direction("fault.injected") == 0
+    assert bench_diff.column_direction("fault.dups") == 0
+    assert bench_diff.column_direction("fault.stall_us") == 0
+    # Hardening counters: escalated waits and watchdog dumps are
+    # unambiguously bad; dedup/straggler bookkeeping scales with the storm.
+    assert bench_diff.column_direction("robust.retries") == -1
+    assert bench_diff.column_direction("robust.watchdog_dumps") == -1
+    assert bench_diff.column_direction("robust.dups_suppressed") == 0
+    assert bench_diff.column_direction("robust.probe_timeouts") == 0
+    assert bench_diff.column_direction("robust.demotions") == 0
+    assert bench_diff.column_direction("robust.repromotions") == 0
+
+
+def test_robust_retries_regression_warns():
+    with tempfile.TemporaryDirectory() as prev, \
+            tempfile.TemporaryDirectory() as cur:
+        write_bench(prev, "collectives",
+                    collectives_bench(metrics={"robust.retries": 10}))
+        write_bench(cur, "collectives",
+                    collectives_bench(metrics={"robust.retries": 30}))
+        rc, out, err = run_main([prev, cur])
+        assert rc == 0
+        assert "::warning" in err and "robust.retries" in err
+
+
+def test_fault_counters_never_warn():
+    with tempfile.TemporaryDirectory() as prev, \
+            tempfile.TemporaryDirectory() as cur:
+        write_bench(prev, "collectives",
+                    collectives_bench(metrics={"fault.injected": 5,
+                                               "robust.dups_suppressed": 3}))
+        write_bench(cur, "collectives",
+                    collectives_bench(metrics={"fault.injected": 500,
+                                               "robust.dups_suppressed": 300}))
+        rc, out, err = run_main([prev, cur])
+        assert rc == 0
+        assert "fault.injected" in out
+        assert "::warning" not in err
+
+
 def test_collective_curves_render_per_primitive():
     """The diff regroups the flat point-keyed table into one latency-vs-P
     table per primitive, cells carrying deltas vs the matched baseline."""
